@@ -1,0 +1,127 @@
+// Command clusternode runs one rank of the sort-last pipeline over TCP,
+// so the system runs as a real distributed program — one OS process per
+// rank, as the paper's SP2 jobs did. Every rank is started with the same
+// address list and its own -rank:
+//
+//	clusternode -rank 0 -addrs 127.0.0.1:7000,127.0.0.1:7001 -dataset cube -out cube.pgm &
+//	clusternode -rank 1 -addrs 127.0.0.1:7000,127.0.0.1:7001 -dataset cube
+//
+// The procedural datasets are deterministic, so every process generates
+// an identical volume; -in loads a shared volume file instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sortlast/internal/core"
+	"sortlast/internal/harness"
+	"sortlast/internal/mp"
+	"sortlast/internal/mpnet"
+	"sortlast/internal/partition"
+	"sortlast/internal/render"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+var (
+	rank    = flag.Int("rank", -1, "this process's rank (required)")
+	addrs   = flag.String("addrs", "", "comma-separated listen addresses, one per rank (required)")
+	dataset = flag.String("dataset", "cube", "built-in dataset")
+	in      = flag.String("in", "", "volume file instead of a built-in dataset")
+	tfName  = flag.String("tf", "", "transfer preset when using -in")
+	method  = flag.String("method", "bsbrc", "compositing method (bs, bsbr, bslc, bsbrc)")
+	size    = flag.Int("size", 384, "image size (square)")
+	rotX    = flag.Float64("rotx", 0, "rotation about x (degrees)")
+	rotY    = flag.Float64("roty", 0, "rotation about y (degrees)")
+	out     = flag.String("out", "", "PGM output path (rank 0 only)")
+	timeout = flag.Duration("timeout", 60*time.Second, "dial and receive timeout")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "clusternode[rank %d]: %v\n", *rank, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	list := strings.Split(*addrs, ",")
+	if *addrs == "" || *rank < 0 || *rank >= len(list) {
+		flag.Usage()
+		return fmt.Errorf("need -rank in [0,%d) and -addrs", len(list))
+	}
+
+	var vol *volume.Volume
+	var tf *transfer.Func
+	var err error
+	if *in != "" {
+		vol, err = volume.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		name := *tfName
+		if name == "" {
+			name = "linear"
+		}
+		if name == "linear" {
+			tf = transfer.Ramp("linear", 0, 255, 0.3)
+		} else if tf, err = transfer.Preset(name); err != nil {
+			return err
+		}
+	} else if vol, tf, err = harness.Dataset(*dataset); err != nil {
+		return err
+	}
+
+	node, err := mpnet.Connect(mpnet.Config{
+		Rank:        *rank,
+		Addrs:       list,
+		DialTimeout: *timeout,
+		Opts:        mp.Options{RecvTimeout: *timeout},
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	c := node.Comm()
+
+	dec, err := partition.Decompose(vol.Bounds(), c.Size())
+	if err != nil {
+		return err
+	}
+	comp, err := core.New(*method)
+	if err != nil {
+		return err
+	}
+	cam := render.NewCamera(*size, *size, vol.Bounds(), *rotX, *rotY)
+
+	start := time.Now()
+	img := render.Raycast(vol, dec.Box(c.Rank()), cam, tf, render.Options{})
+	renderTime := time.Since(start)
+
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	res, err := comp.Composite(c, dec, cam.Dir, img)
+	if err != nil {
+		return err
+	}
+	final, err := core.GatherImage(c, 0, res)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rank %d/%d: render %v, composited %d px, received %d B\n",
+		c.Rank(), c.Size(), renderTime.Round(time.Millisecond),
+		res.Stats.TotalComposited(), res.Stats.BytesReceived())
+	if c.Rank() == 0 && *out != "" {
+		if err := final.WritePGMFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("rank 0: wrote %s\n", *out)
+	}
+	return c.Barrier() // quiesce before Close
+}

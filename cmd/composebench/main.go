@@ -1,0 +1,162 @@
+// Command composebench regenerates the paper's evaluation (§4) from the
+// command line: Table 1 (384x384), Table 2 (768x768), Figures 8-11 (the
+// per-dataset compositing-time series), and the Eq. 9 M_max comparison.
+//
+// Examples:
+//
+//	composebench -table 1
+//	composebench -figure 11 -maxp 32
+//	composebench -mmax -dataset cube
+//	composebench -all -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sortlast/internal/harness"
+	"sortlast/internal/report"
+)
+
+var (
+	table   = flag.Int("table", 0, "regenerate Table 1 or 2")
+	figure  = flag.Int("figure", 0, "regenerate Figure 8, 9, 10 or 11")
+	mmax    = flag.Bool("mmax", false, "regenerate the Eq. 9 M_max comparison")
+	all     = flag.Bool("all", false, "regenerate every table and figure")
+	dataset = flag.String("dataset", "", "restrict to one dataset (engine_low, engine_high, head, cube)")
+	maxP    = flag.Int("maxp", 64, "largest processor count in the sweep")
+	rotX    = flag.Float64("rotx", 20, "viewpoint rotation about x (degrees)")
+	rotY    = flag.Float64("roty", 30, "viewpoint rotation about y (degrees)")
+	csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+)
+
+var figureDataset = map[int]string{
+	8:  "engine_low",
+	9:  "head",
+	10: "engine_high",
+	11: "cube",
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "composebench:", err)
+		os.Exit(1)
+	}
+}
+
+func datasets() []string {
+	if *dataset != "" {
+		return []string{*dataset}
+	}
+	return []string{"engine_low", "engine_high", "head", "cube"}
+}
+
+// sweep runs dataset x method x P at one image size.
+func sweep(size int, methods []string, ds []string) ([]harness.Row, error) {
+	var rows []harness.Row
+	for _, d := range ds {
+		for _, m := range methods {
+			for _, p := range harness.PowersOfTwo(*maxP) {
+				row, err := harness.Run(harness.Config{
+					Dataset: d, Width: size, Height: size,
+					P: p, Method: m, RotX: *rotX, RotY: *rotY,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/P%d: %w", d, m, p, err)
+				}
+				rows = append(rows, *row)
+				fmt.Fprintf(os.Stderr, ".")
+			}
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	return rows, nil
+}
+
+func emit(rows []harness.Row, format func() string) {
+	if *csv {
+		fmt.Print(report.CSV(rows))
+		return
+	}
+	fmt.Println(format())
+}
+
+func run() error {
+	did := false
+	methodNames := map[string]string{"bs": "BS", "bsbr": "BSBR", "bslc": "BSLC", "bsbrc": "BSBRC"}
+	display := func(ms []string) []string {
+		out := make([]string, len(ms))
+		for i, m := range ms {
+			out[i] = methodNames[m]
+		}
+		return out
+	}
+
+	if *all || *table == 1 {
+		did = true
+		methods := []string{"bs", "bsbr", "bslc", "bsbrc"}
+		rows, err := sweep(384, methods, datasets())
+		if err != nil {
+			return err
+		}
+		emit(rows, func() string {
+			return report.Table("Table 1: compositing time, 384x384 (modeled ms, SP2 parameters)",
+				rows, display(methods))
+		})
+	}
+	if *all || *table == 2 {
+		did = true
+		methods := []string{"bsbr", "bslc", "bsbrc"}
+		rows, err := sweep(768, methods, datasets())
+		if err != nil {
+			return err
+		}
+		emit(rows, func() string {
+			return report.Table("Table 2: compositing time, 768x768 (modeled ms, SP2 parameters)",
+				rows, display(methods))
+		})
+	}
+	figs := []int{}
+	if *figure != 0 {
+		figs = append(figs, *figure)
+	} else if *all {
+		figs = []int{8, 9, 10, 11}
+	}
+	for _, f := range figs {
+		ds, ok := figureDataset[f]
+		if !ok {
+			return fmt.Errorf("unknown figure %d (want 8-11)", f)
+		}
+		did = true
+		methods := []string{"bsbr", "bslc", "bsbrc"}
+		rows, err := sweep(384, methods, []string{ds})
+		if err != nil {
+			return err
+		}
+		f := f
+		emit(rows, func() string {
+			return report.Figure(fmt.Sprintf("Figure %d", f), rows, display(methods), ds)
+		})
+	}
+	if *all || *mmax {
+		did = true
+		methods := []string{"bs", "bsbr", "bslc", "bsbrc"}
+		for _, ds := range datasets() {
+			rows, err := sweep(384, methods, []string{ds})
+			if err != nil {
+				return err
+			}
+			ds := ds
+			emit(rows, func() string {
+				return report.MMax("Eq. 9 maximum received message size", rows, display(methods), ds)
+			})
+		}
+	}
+	if !did {
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -table, -figure, -mmax or -all")
+	}
+	return nil
+}

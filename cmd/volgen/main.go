@@ -1,0 +1,80 @@
+// Command volgen generates the procedural datasets standing in for the
+// paper's CT samples and writes them as native-format volume files.
+//
+//	volgen -dataset engine -out engine.slsv
+//	volgen -dataset head -nx 128 -ny 128 -nz 64 -out head_small.slsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sortlast/internal/volume"
+)
+
+var (
+	dataset = flag.String("dataset", "engine", "engine, head, cube, sphere, ramp or checker")
+	out     = flag.String("out", "", "output file (required)")
+	nx      = flag.Int("nx", 0, "override x dimension (0: paper native)")
+	ny      = flag.Int("ny", 0, "override y dimension")
+	nz      = flag.Int("nz", 0, "override z dimension")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "volgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *out == "" {
+		flag.Usage()
+		return fmt.Errorf("-out is required")
+	}
+	var v *volume.Volume
+	x, y, z := *nx, *ny, *nz
+	custom := x > 0 && y > 0 && z > 0
+	switch *dataset {
+	case "engine":
+		if !custom {
+			x, y, z = 256, 256, 110
+		}
+		v = volume.EngineBlock(x, y, z)
+	case "head":
+		if !custom {
+			x, y, z = 256, 256, 113
+		}
+		v = volume.HeadPhantom(x, y, z)
+	case "cube":
+		if !custom {
+			x, y, z = 256, 256, 110
+		}
+		v = volume.SolidCube(x, y, z)
+	case "sphere":
+		if !custom {
+			x, y, z = 128, 128, 128
+		}
+		v = volume.Sphere(x, y, z, 0.8, 200)
+	case "ramp":
+		if !custom {
+			x, y, z = 128, 128, 128
+		}
+		v = volume.Ramp(x, y, z, 2)
+	case "checker":
+		if !custom {
+			x, y, z = 128, 128, 128
+		}
+		v = volume.Checker(x, y, z, 8, 180)
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err := v.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %dx%dx%d, %d voxels above zero\n",
+		*out, v.NX, v.NY, v.NZ, v.CountAbove(0))
+	return nil
+}

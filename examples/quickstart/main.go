@@ -1,0 +1,39 @@
+// Quickstart: render a built-in dataset on 8 simulated processors with
+// the paper's best compositing method (BSBRC) and save the image.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sortlast"
+)
+
+func main() {
+	res, err := sortlast.Render("engine_low", sortlast.Options{
+		Processors: 8,
+		Method:     "bsbrc",
+		Width:      384,
+		Height:     384,
+		RotX:       20,
+		RotY:       30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := res.Image.WritePGMFile("quickstart.pgm"); err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Stats
+	fmt.Printf("rendered %s with %s on %d processors\n", s.Dataset, s.Method, s.P)
+	fmt.Printf("  compositing (modeled, SP2 parameters): comp %.2f ms + comm %.2f ms = %.2f ms\n",
+		s.CompMS, s.CommMS, s.TotalMS)
+	fmt.Printf("  maximum received message size: %d bytes\n", s.MMaxBytes)
+	fmt.Printf("  host wall-clock: render %.1f ms, compositing compute %.2f ms\n",
+		s.RenderMS, s.MeasuredCompMS)
+	fmt.Println("wrote quickstart.pgm")
+}

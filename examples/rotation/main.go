@@ -1,0 +1,61 @@
+// Rotation study (paper §3.2): as the viewpoint rotates about one and
+// then two axes, split planes stop separating paired footprints in
+// screen space, the ratio of empty receiving bounding rectangles falls,
+// and the bounding-rectangle methods ship more pixels. This example
+// sweeps a camera orbit and prints, per frame, the empty-rectangle ratio
+// and the M_max of BSBR vs BSBRC vs BSLC — the mechanism behind the
+// paper's "factors of a viewing point are rotation dimension and
+// rotation degree".
+//
+//	go run ./examples/rotation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"sortlast/internal/harness"
+)
+
+func main() {
+	const p = 16
+	fmt.Printf("engine_high, P=%d, 384x384 — viewpoint rotation sweep\n\n", p)
+	tw := tabwriter.NewWriter(os.Stdout, 6, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "rotX\trotY\tempty rects\tBSBR M_max\tBSBRC M_max\tBSLC M_max\tBSBRC total ms\t")
+
+	frames := []struct{ rx, ry float64 }{
+		{0, 0},           // normal orthogonal projection
+		{0, 15}, {0, 30}, // rotating about one axis
+		{0, 45}, {0, 60},
+		{15, 15}, {30, 30}, // rotating about two axes
+		{45, 60}, {60, 45},
+	}
+	for _, f := range frames {
+		var mmax [3]int
+		var empty int
+		var total float64
+		for i, m := range []string{"bsbr", "bsbrc", "bslc"} {
+			row, err := harness.Run(harness.Config{
+				Dataset: "engine_high",
+				Width:   384, Height: 384,
+				P: p, Method: m,
+				RotX: f.rx, RotY: f.ry,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mmax[i] = row.MMax
+			if m == "bsbrc" {
+				empty = row.EmptyRects
+				total = row.TotalMS
+			}
+		}
+		fmt.Fprintf(tw, "%.0f\t%.0f\t%d\t%d\t%d\t%d\t%.2f\t\n",
+			f.rx, f.ry, empty, mmax[0], mmax[1], mmax[2], total)
+	}
+	tw.Flush()
+	fmt.Println("\nEmpty receiving rectangles shrink as rotation grows, and the")
+	fmt.Println("gap between BSBR and BSBRC widens: exactly the paper's analysis.")
+}

@@ -1,0 +1,3 @@
+module sortlast
+
+go 1.22

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/rle"
+)
+
+func sparseImage(seed int64, w, h int, density float64) *frame.Image {
+	r := rand.New(rand.NewSource(seed))
+	im := frame.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if r.Float64() < density {
+				a := 0.2 + 0.8*r.Float64()
+				im.Set(x, y, frame.Pixel{I: a * r.Float64(), A: a})
+			}
+		}
+	}
+	return im
+}
+
+func TestPartialPairRoundTrip(t *testing.T) {
+	front := sparseImage(1, 32, 32, 0.2)
+	back := sparseImage(2, 32, 32, 0.4)
+	buf := packPartialPair(front, back)
+
+	gotF := frame.NewImage(32, 32)
+	gotB := frame.NewImage(32, 32)
+	if err := unpackPartialPair(buf, gotF, gotB); err != nil {
+		t.Fatal(err)
+	}
+	if d := front.MaxAbsDiff(gotF, front.Full()); d != 0 {
+		t.Errorf("front differs by %g", d)
+	}
+	if d := back.MaxAbsDiff(gotB, back.Full()); d != 0 {
+		t.Errorf("back differs by %g", d)
+	}
+}
+
+func TestPartialPairEmptyImages(t *testing.T) {
+	empty := frame.NewImage(16, 16)
+	buf := packPartialPair(empty, empty)
+	if len(buf) != 2*frame.RectBytes {
+		t.Errorf("two empty partials pack to %d bytes, want %d", len(buf), 2*frame.RectBytes)
+	}
+	gotF := frame.NewImage(16, 16)
+	gotB := frame.NewImage(16, 16)
+	if err := unpackPartialPair(buf, gotF, gotB); err != nil {
+		t.Fatal(err)
+	}
+	if gotF.CountNonBlank(gotF.Full()) != 0 {
+		t.Error("empty partial must stay empty")
+	}
+}
+
+func TestUnpackPartialPairRejectsCorruption(t *testing.T) {
+	front := sparseImage(3, 16, 16, 0.5)
+	buf := packPartialPair(front, front)
+	for _, cut := range []int{0, 4, frame.RectBytes + 3, len(buf) - 5} {
+		f := frame.NewImage(16, 16)
+		bk := frame.NewImage(16, 16)
+		if err := unpackPartialPair(buf[:cut], f, bk); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage must be rejected too.
+	f := frame.NewImage(16, 16)
+	bk := frame.NewImage(16, 16)
+	if err := unpackPartialPair(append(append([]byte(nil), buf...), 1, 2, 3), f, bk); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestEncodeImageRunsMatchesDensePack(t *testing.T) {
+	im := sparseImage(4, 40, 25, 0.3)
+	runs := encodeImageRuns(im)
+	want := rle.EncodeValues(im.PackRegion(im.Full()))
+	got := rle.DecodeValues(runs)
+	wantDense := rle.DecodeValues(want)
+	if len(got) != len(wantDense) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(wantDense))
+	}
+	for i := range got {
+		if got[i] != wantDense[i] {
+			t.Fatalf("pixel %d: %v vs %v", i, got[i], wantDense[i])
+		}
+	}
+}
+
+func TestEncodeImageRunsCoalescesBlankRows(t *testing.T) {
+	im := frame.NewImage(100, 100)
+	im.Set(50, 50, frame.Pixel{I: 1, A: 1})
+	runs := encodeImageRuns(im)
+	// blank run, the pixel, blank run — exactly 3 runs.
+	if len(runs) != 3 {
+		t.Errorf("got %d runs, want 3: %v", len(runs), runs)
+	}
+	if rle.RunsLen(runs) != 100*100 {
+		t.Errorf("runs cover %d pixels", rle.RunsLen(runs))
+	}
+}

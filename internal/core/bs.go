@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/mp"
+	"sortlast/internal/partition"
+	"sortlast/internal/stats"
+)
+
+// BS is the plain binary-swap compositing method of Ma et al. (§3.1): at
+// stage k paired processors exchange complementary halves of their
+// current region as raw pixels — 16 bytes each, blanks included — and
+// composite the received half over/under their own.
+type BS struct{}
+
+// Name implements Compositor.
+func (BS) Name() string { return "BS" }
+
+// Composite implements Compositor.
+func (BS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float64,
+	img *frame.Image) (*Result, error) {
+	if err := checkWorld(c, dec); err != nil {
+		return nil, err
+	}
+	st := &stats.Rank{RankID: c.Rank(), Method: "BS"}
+	var timer stats.Timer
+	region := img.Full()
+
+	for stage := 1; stage <= dec.Stages(); stage++ {
+		c.SetStage(stageLabel(stage))
+		keep, send := stageHalves(dec, c.Rank(), stage, region)
+		partner := dec.Partner(c.Rank(), stage)
+
+		timer.Start()
+		payload := frame.PackPixels(img.PackRegion(send))
+		timer.Stop()
+
+		recv, err := c.Sendrecv(partner, tagSwap, payload)
+		if err != nil {
+			return nil, fmt.Errorf("bs: stage %d: %w", stage, err)
+		}
+		if len(recv) != keep.Area()*frame.PixelBytes {
+			return nil, fmt.Errorf("bs: stage %d: got %d bytes for %d pixels",
+				stage, len(recv), keep.Area())
+		}
+
+		timer.Start()
+		pixels := frame.UnpackPixels(recv, keep.Area())
+		ops := img.CompositeRegion(keep, pixels, partnerInFront(dec, c.Rank(), stage, viewDir))
+		timer.Stop()
+
+		s := st.StageAt(stage)
+		s.RecvPixels = keep.Area()
+		s.Composited = ops
+		s.SentPixels = send.Area()
+		s.BytesSent = len(payload)
+		s.BytesRecv = len(recv)
+		s.MsgsSent, s.MsgsRecv = 1, 1
+
+		region = keep
+	}
+	st.CompWall = timer.Total()
+	return &Result{Image: img, Own: RectOwn{R: region}, Stats: st}, nil
+}

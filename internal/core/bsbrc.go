@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/mp"
+	"sortlast/internal/partition"
+	"sortlast/internal/rle"
+	"sortlast/internal/stats"
+)
+
+// BSBRC is binary-swap with bounding rectangle and run-length encoding
+// (§3.4), the paper's best method: the encoder scans only the pixels of
+// the sending bounding rectangle (A_send^k instead of A/2^k), and the
+// message carries the rectangle (8 bytes), the run-length codes, and the
+// non-blank pixels — avoiding both BSLC's full-half encoding scans and
+// BSBR's blank-pixel traffic inside sparse rectangles.
+type BSBRC struct{}
+
+// Name implements Compositor.
+func (BSBRC) Name() string { return "BSBRC" }
+
+// Composite implements Compositor.
+func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float64,
+	img *frame.Image) (*Result, error) {
+	if err := checkWorld(c, dec); err != nil {
+		return nil, err
+	}
+	st := &stats.Rank{RankID: c.Rank(), Method: "BSBRC"}
+	var timer stats.Timer
+	region := img.Full()
+
+	// Algorithm step 3-4: find the local bounding rectangle once.
+	timer.Start()
+	localBR, scanned := img.BoundingRect(region)
+	timer.Stop()
+	st.BoundScan = scanned
+
+	for stage := 1; stage <= dec.Stages(); stage++ {
+		c.SetStage(stageLabel(stage))
+		keep, send := stageHalves(dec, c.Rank(), stage, region)
+		partner := dec.Partner(c.Rank(), stage)
+
+		// Steps 6-13: split the bounding rectangle at the centerline,
+		// encode the sending part, pack rectangle + codes + pixels.
+		timer.Start()
+		sendBR := localBR.Intersect(send)
+		keepBR := localBR.Intersect(keep)
+		payload := make([]byte, frame.RectBytes, frame.RectBytes+64)
+		frame.PutRect(payload, sendBR)
+		s := st.StageAt(stage)
+		if !sendBR.Empty() {
+			seq := img.PackRegion(sendBR)
+			enc := rle.Encode(seq)
+			payload = enc.Pack(payload)
+			s.Encoded = len(seq)
+			s.Codes = len(enc.Codes)
+			s.SentPixels = len(enc.NonBlank)
+		}
+		timer.Stop()
+
+		// Steps 13-14: exchange with the paired processor.
+		recv, err := c.Sendrecv(partner, tagSwap, payload)
+		if err != nil {
+			return nil, fmt.Errorf("bsbrc: stage %d: %w", stage, err)
+		}
+		if len(recv) < frame.RectBytes {
+			return nil, fmt.Errorf("bsbrc: stage %d: short message (%d bytes)", stage, len(recv))
+		}
+		recvBR := frame.GetRect(recv)
+		if recvBR.Empty() && len(recv) != frame.RectBytes {
+			return nil, fmt.Errorf("bsbrc: stage %d: %d trailing bytes with an empty rectangle",
+				stage, len(recv)-frame.RectBytes)
+		}
+
+		s.SendRectEmpty = sendBR.Empty()
+		s.RecvRectEmpty = recvBR.Empty()
+		s.RecvPixels = recvBR.Area()
+		s.BytesSent = len(payload)
+		s.BytesRecv = len(recv)
+		s.MsgsSent, s.MsgsRecv = 1, 1
+
+		// Steps 16-20: decode and composite only the non-blank pixels.
+		if !recvBR.Empty() {
+			if !keep.ContainsRect(recvBR) {
+				return nil, fmt.Errorf("bsbrc: stage %d: received rect %v outside kept half %v",
+					stage, recvBR, keep)
+			}
+			timer.Start()
+			e, rest, err := rle.Unpack(recv[frame.RectBytes:])
+			if err != nil {
+				return nil, fmt.Errorf("bsbrc: stage %d: %w", stage, err)
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("bsbrc: stage %d: %d trailing bytes", stage, len(rest))
+			}
+			if e.Total != recvBR.Area() {
+				return nil, fmt.Errorf("bsbrc: stage %d: encoding covers %d pixels, rect %v has %d",
+					stage, e.Total, recvBR, recvBR.Area())
+			}
+			front := partnerInFront(dec, c.Rank(), stage, viewDir)
+			img.Grow(recvBR)
+			rw := recvBR.Dx()
+			composited := 0
+			// Positions arrive in row-major order; fetch each scanline
+			// segment once.
+			rowY := -1
+			var row []frame.Pixel
+			walkErr := e.Walk(func(seq int, p frame.Pixel) {
+				if y := recvBR.Y0 + seq/rw; y != rowY {
+					rowY = y
+					row = img.Row(y, recvBR.X0, recvBR.X1)
+				}
+				if front {
+					frame.OverInto(p, &row[seq%rw])
+				} else {
+					row[seq%rw] = frame.Over(row[seq%rw], p)
+				}
+				composited++
+			})
+			timer.Stop()
+			if walkErr != nil {
+				return nil, fmt.Errorf("bsbrc: stage %d: %w", stage, walkErr)
+			}
+			s.Composited = composited
+		}
+
+		// Step 21: the new local bounding rectangle is the O(1) union.
+		localBR = keepBR.Union(recvBR)
+		region = keep
+	}
+	st.CompWall = timer.Total()
+	return &Result{Image: img, Own: RectOwn{R: region}, Stats: st}, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/mp"
+	"sortlast/internal/partition"
+	"sortlast/internal/rle"
+	"sortlast/internal/stats"
+)
+
+// BSBRLC combines all three of the paper's techniques, in the spirit of
+// §5's "more efficient encoding schemes": the exchange is BSLC's
+// statically load-balanced interleaved split of the shared owned set,
+// while the encoder uses the bounding rectangle to skip blank space
+// arithmetically — stretches outside the rectangle become run-length
+// codes without a single pixel being scanned, so the paper's
+// T_encode x A/2^k term shrinks toward BSBRC's T_encode x A_send while
+// keeping BSLC's balanced M_max. Messages carry the local bounding
+// rectangle (for the O(1) rectangle update) plus codes and non-blank
+// pixels.
+type BSBRLC struct {
+	// Granularity is the interleave section size in pixels; 0 means one
+	// scanline of the full frame.
+	Granularity int
+}
+
+// Name implements Compositor.
+func (BSBRLC) Name() string { return "BSBRLC" }
+
+// Composite implements Compositor.
+func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float64,
+	img *frame.Image) (*Result, error) {
+	if err := checkWorld(c, dec); err != nil {
+		return nil, err
+	}
+	st := &stats.Rank{RankID: c.Rank(), Method: "BSBRLC"}
+	var timer stats.Timer
+	w := img.Full().Dx()
+	g := m.Granularity
+	if g <= 0 {
+		g = w
+	}
+	own := []Interval{{Lo: 0, Hi: img.Full().Area()}}
+
+	timer.Start()
+	localBR, scanned := img.BoundingRect(img.Full())
+	timer.Stop()
+	st.BoundScan = scanned
+
+	for stage := 1; stage <= dec.Stages(); stage++ {
+		c.SetStage(stageLabel(stage))
+		partner := dec.Partner(c.Rank(), stage)
+
+		timer.Start()
+		evens, odds := splitInterleaved(own, g)
+		var keep, send []Interval
+		if dec.Side(c.Rank(), dec.StageLevel(stage)) == 0 {
+			keep, send = evens, odds
+		} else {
+			keep, send = odds, evens
+		}
+		enc, encScanned := encodeIntervalsWithRect(img, w, send, localBR)
+		payload := make([]byte, frame.RectBytes, frame.RectBytes+enc.WireBytes()+16)
+		frame.PutRect(payload, localBR)
+		payload = enc.Pack(payload)
+		timer.Stop()
+
+		recv, err := c.Sendrecv(partner, tagSwap, payload)
+		if err != nil {
+			return nil, fmt.Errorf("bsbrlc: stage %d: %w", stage, err)
+		}
+		if len(recv) < frame.RectBytes {
+			return nil, fmt.Errorf("bsbrlc: stage %d: short message (%d bytes)", stage, len(recv))
+		}
+		recvBR := frame.GetRect(recv)
+
+		timer.Start()
+		e, rest, err := rle.Unpack(recv[frame.RectBytes:])
+		if err != nil {
+			return nil, fmt.Errorf("bsbrlc: stage %d: %w", stage, err)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("bsbrlc: stage %d: %d trailing bytes", stage, len(rest))
+		}
+		keepLen := intervalsLen(keep)
+		if e.Total != keepLen {
+			return nil, fmt.Errorf("bsbrlc: stage %d: encoding covers %d pixels, kept set has %d",
+				stage, e.Total, keepLen)
+		}
+		front := partnerInFront(dec, c.Rank(), stage, viewDir)
+		growToIntervals(img, w, keep)
+		composited := 0
+		cur := newIntervalCursor(keep)
+		rowY := -1
+		var row []frame.Pixel
+		walkErr := e.Walk(func(seq int, p frame.Pixel) {
+			idx := cur.index(seq)
+			if y := idx / w; y != rowY {
+				rowY = y
+				row = img.Row(y, 0, w)
+			}
+			if front {
+				frame.OverInto(p, &row[idx%w])
+			} else {
+				row[idx%w] = frame.Over(row[idx%w], p)
+			}
+			composited++
+		})
+		timer.Stop()
+		if walkErr != nil {
+			return nil, fmt.Errorf("bsbrlc: stage %d: %w", stage, walkErr)
+		}
+
+		s := st.StageAt(stage)
+		s.RecvPixels = keepLen
+		s.Composited = composited
+		s.Encoded = encScanned // only in-rectangle pixels were touched
+		s.Codes = len(enc.Codes)
+		s.SentPixels = len(enc.NonBlank)
+		s.BytesSent = len(payload)
+		s.BytesRecv = len(recv)
+		s.MsgsSent, s.MsgsRecv = 1, 1
+		s.RecvRectEmpty = recvBR.Empty()
+		s.SendRectEmpty = localBR.Empty()
+
+		// The kept pixels stay inside localBR; received non-blanks lie
+		// inside the partner's rectangle. O(1) update, as in BSBR.
+		localBR = localBR.Union(recvBR)
+		own = keep
+	}
+	st.CompWall = timer.Total()
+	return &Result{Image: img, Own: IntervalOwn{W: w, Iv: own}, Stats: st}, nil
+}
+
+// encodeIntervalsWithRect encodes the pixels of the interval set in
+// sequence order, scanning only the parts inside the bounding rectangle
+// and emitting everything outside as arithmetic blank runs. It returns
+// the encoding and the number of pixels actually scanned.
+func encodeIntervalsWithRect(img *frame.Image, w int, iv []Interval,
+	br frame.Rect) (rle.Encoding, int) {
+	var b rle.Builder
+	for _, v := range iv {
+		for i := v.Lo; i < v.Hi; {
+			y := i / w
+			x0 := i % w
+			x1 := w
+			if rowEnd := v.Hi - y*w; rowEnd < x1 {
+				x1 = rowEnd
+			}
+			seg := x1 - x0
+			if y < br.Y0 || y >= br.Y1 || x1 <= br.X0 || x0 >= br.X1 {
+				b.Blank(seg) // whole segment outside the rectangle
+				i += seg
+				continue
+			}
+			// Clip the segment to the rectangle; flanks are blank.
+			cx0, cx1 := x0, x1
+			if cx0 < br.X0 {
+				cx0 = br.X0
+			}
+			if cx1 > br.X1 {
+				cx1 = br.X1
+			}
+			b.Blank(cx0 - x0)
+			b.Pixels(rowSlice(img, y, cx0, cx1))
+			b.Blank(x1 - cx1)
+			i += seg
+		}
+	}
+	return b.Done(), b.Scanned()
+}
+
+// rowSlice returns the pixels of scanline y over [x0, x1), materializing
+// blanks where the image has no storage.
+func rowSlice(img *frame.Image, y, x0, x1 int) []frame.Pixel {
+	row := img.Row(y, x0, x1)
+	if len(row) == x1-x0 {
+		return row
+	}
+	// Partially stored: fall back to a padded copy.
+	out := make([]frame.Pixel, x1-x0)
+	b := img.Bounds()
+	if y >= b.Y0 && y < b.Y1 {
+		cx0 := x0
+		if b.X0 > cx0 {
+			cx0 = b.X0
+		}
+		copy(out[cx0-x0:], img.Row(y, cx0, x1))
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/partition"
+	"sortlast/internal/rle"
+	"sortlast/internal/stats"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+// encodeIntervalsWithRect must produce exactly the encoding of the dense
+// sequence, while scanning only the in-rectangle parts.
+func TestEncodeIntervalsWithRectMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		w, h := 24, 20
+		img := frame.NewImage(w, h)
+		br := frame.XYWH(3+r.Intn(5), 2+r.Intn(5), 1+r.Intn(12), 1+r.Intn(10)).
+			Intersect(img.Full())
+		// Non-blank pixels only inside the rectangle (the invariant the
+		// caller maintains).
+		for i := 0; i < 30; i++ {
+			x := br.X0 + r.Intn(br.Dx())
+			y := br.Y0 + r.Intn(br.Dy())
+			img.Set(x, y, frame.Pixel{I: r.Float64(), A: 0.5 + r.Float64()/2})
+		}
+		var iv []Interval
+		pos := 0
+		for pos < w*h {
+			skip := r.Intn(30)
+			n := 1 + r.Intn(60)
+			if pos+skip+n > w*h {
+				break
+			}
+			iv = append(iv, Interval{Lo: pos + skip, Hi: pos + skip + n})
+			pos += skip + n
+		}
+		enc, scanned := encodeIntervalsWithRect(img, w, iv, br)
+		want := rle.Encode(packIntervals(img, w, iv))
+		if enc.Total != want.Total || !reflect.DeepEqual(enc.Codes, want.Codes) ||
+			!reflect.DeepEqual(enc.NonBlank, want.NonBlank) {
+			t.Fatalf("trial %d: rect-accelerated encoding differs from dense\n got %v\nwant %v",
+				trial, enc.Codes, want.Codes)
+		}
+		if scanned > intervalsLen(iv) {
+			t.Fatalf("scanned %d > set size %d", scanned, intervalsLen(iv))
+		}
+	}
+}
+
+// The rectangle must slash the encoder's scan volume on sparse scenes
+// while leaving the balanced message sizes of BSLC intact — the design
+// goal of the combined method.
+func TestBSBRLCScansLessThanBSLC(t *testing.T) {
+	sc := makeScene(t, volume.EngineBlock(48, 48, 20), transfer.EngineHigh(), 96, 96, 20, 30)
+	const p = 8
+	dec, err := partition.Decompose(sc.vol.Bounds(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanOf := func(rs []*stats.Rank) int {
+		n := 0
+		for _, r := range rs {
+			for _, s := range r.Stages {
+				n += s.Encoded
+			}
+		}
+		return n
+	}
+	_, bslc := runComposite(t, sc, BSLC{}, dec, p)
+	_, combined := runComposite(t, sc, BSBRLC{}, dec, p)
+	if s, c := scanOf(bslc), scanOf(combined); c*4 > s {
+		t.Errorf("BSBRLC scans %d px, BSLC %d — expected at least 4x reduction on a sparse scene", c, s)
+	}
+	mmaxB := stats.MaxMessageBytes(bslc)
+	mmaxC := stats.MaxMessageBytes(combined)
+	// Same interleave, same pixels: M_max should match up to the 8-byte
+	// rectangle header per stage.
+	slack := frame.RectBytes * dec.Stages()
+	if mmaxC > mmaxB+slack || mmaxB > mmaxC+slack {
+		t.Errorf("M_max diverged: BSLC %d, BSBRLC %d", mmaxB, mmaxC)
+	}
+}

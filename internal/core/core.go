@@ -1,0 +1,124 @@
+// Package core implements the paper's contribution: the compositing
+// phase of the sort-last-sparse pipeline. It provides the binary-swap
+// family — BS (plain), BSBR (bounding rectangle), BSLC (run-length
+// encoding over an interleaved, statically load-balanced split), and
+// BSBRC (bounding rectangle + run-length encoding) — plus the related
+// baselines from §2 (direct-send, parallel-pipeline, binary-tree with
+// value compression) and the §5 future-work extension to non-power-of-two
+// processor counts.
+//
+// All compositors are communication optimizations, not approximations:
+// on the same subimages they produce bit-identical final images, because
+// skipping a blank pixel is exact under the over operator.
+package core
+
+import (
+	"fmt"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/mp"
+	"sortlast/internal/partition"
+	"sortlast/internal/stats"
+)
+
+// Message tags used by the compositing algorithms.
+const (
+	tagSwap = 1 + iota
+	tagFold
+	tagDirect
+	tagPipe
+	tagTree
+)
+
+// Compositor merges the per-rank subimages into a distributed final
+// image. Composite runs on every rank; on return, the rank's portion of
+// the final image is described by Result.Own and stored in Result.Image.
+type Compositor interface {
+	Name() string
+	Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float64,
+		img *frame.Image) (*Result, error)
+}
+
+// Result is one rank's outcome of the compositing phase.
+type Result struct {
+	// Image holds the composited pixels over the owned portion. It may
+	// alias the input subimage.
+	Image *frame.Image
+	// Own describes which pixels of the full frame this rank owns.
+	Own Ownership
+	// Stats carries the counted quantities of the paper's cost model.
+	Stats *stats.Rank
+}
+
+// stageLabel names a compositing stage in the message log.
+func stageLabel(k int) string { return fmt.Sprintf("stage%d", k) }
+
+// stageHalves splits the region owned at the start of a stage along the
+// stage's alternating centerline (horizontal first) and returns the half
+// this rank keeps and the half it sends. The rank on side 0 of the
+// stage's kd level keeps the low half, so partners always make
+// complementary choices.
+func stageHalves(dec *partition.Decomposition, rank, stage int, region frame.Rect) (keep, send frame.Rect) {
+	low, high := region.Split(stage - 1)
+	if dec.Side(rank, dec.StageLevel(stage)) == 0 {
+		return low, high
+	}
+	return high, low
+}
+
+// partnerInFront reports whether the stage partner's contribution lies in
+// front of this rank's accumulated pixels.
+func partnerInFront(dec *partition.Decomposition, rank, stage int, viewDir [3]float64) bool {
+	return dec.RankInFront(dec.Partner(rank, stage), stage, viewDir)
+}
+
+// checkWorld validates the comm/decomposition pairing shared by the
+// power-of-two compositors.
+func checkWorld(c mp.Comm, dec *partition.Decomposition) error {
+	if c.Size() != dec.Size() {
+		return fmt.Errorf("core: world has %d ranks but decomposition expects %d",
+			c.Size(), dec.Size())
+	}
+	if c.Rank() < 0 || c.Rank() >= dec.Size() {
+		return fmt.Errorf("core: rank %d out of range", c.Rank())
+	}
+	return nil
+}
+
+// New returns the named compositor; Names lists the recognized names.
+func New(name string) (Compositor, error) {
+	switch name {
+	case "bs":
+		return BS{}, nil
+	case "bsbr":
+		return BSBR{}, nil
+	case "bslc":
+		return BSLC{}, nil
+	case "bsbrc":
+		return BSBRC{}, nil
+	case "direct":
+		return DirectSend{}, nil
+	case "pipeline":
+		return Pipeline{}, nil
+	case "bintree":
+		return BinaryTree{}, nil
+	case "bsdpf":
+		return BSDPF{}, nil
+	case "bsvc":
+		return BSVC{}, nil
+	case "bsbrlc":
+		return BSBRLC{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown compositor %q", name)
+	}
+}
+
+// Names lists the compositors in the order the paper discusses them:
+// the four evaluated methods, the related-work baselines, then the
+// related-work encodings as binary-swap variants (§2/§3.3 ablations).
+func Names() []string {
+	return []string{"bs", "bsbr", "bslc", "bsbrc", "direct", "pipeline", "bintree", "bsdpf", "bsvc", "bsbrlc"}
+}
+
+// PaperMethods lists the four methods of the paper's evaluation.
+func PaperMethods() []string { return []string{"bs", "bsbr", "bslc", "bsbrc"} }

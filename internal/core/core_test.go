@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/mp"
+	"sortlast/internal/partition"
+	"sortlast/internal/render"
+	"sortlast/internal/stats"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+func testOpts() mp.Options { return mp.Options{RecvTimeout: 20 * time.Second} }
+
+// scene bundles everything a compositing test needs.
+type scene struct {
+	vol    *volume.Volume
+	tf     *transfer.Func
+	cam    *render.Camera
+	serial *frame.Image
+}
+
+func makeScene(t *testing.T, vol *volume.Volume, tf *transfer.Func, w, h int, rotX, rotY float64) *scene {
+	t.Helper()
+	cam := render.NewCamera(w, h, vol.Bounds(), rotX, rotY)
+	serial := render.Raycast(vol, vol.Bounds(), cam, tf, render.Options{EarlyTermination: -1})
+	return &scene{vol: vol, tf: tf, cam: cam, serial: serial}
+}
+
+// runComposite renders per-rank subimages and runs the compositor,
+// returning the gathered final image and the per-rank stats.
+func runComposite(t *testing.T, sc *scene, comp Compositor, dec *partition.Decomposition,
+	p int) (*frame.Image, []*stats.Rank) {
+	t.Helper()
+	ranksStats := make([]*stats.Rank, p)
+	var final *frame.Image
+	err := mp.Run(p, testOpts(), func(c mp.Comm) error {
+		img := render.Raycast(sc.vol, dec.Box(c.Rank()), sc.cam, sc.tf,
+			render.Options{EarlyTermination: -1})
+		res, err := comp.Composite(c, dec, sc.cam.Dir, img)
+		if err != nil {
+			return err
+		}
+		ranksStats[c.Rank()] = res.Stats
+		out, err := GatherImage(c, 0, res)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			final = out
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s P=%d: %v", comp.Name(), p, err)
+	}
+	if final == nil {
+		t.Fatalf("%s P=%d: no final image at root", comp.Name(), p)
+	}
+	return final, ranksStats
+}
+
+// Every compositor must reproduce the serial rendering (the master
+// integration property), across datasets, rank counts, and rotations.
+func TestAllMethodsMatchSerial(t *testing.T) {
+	scenes := map[string]*scene{
+		"engine_low":  makeScene(t, volume.EngineBlock(32, 32, 14), transfer.EngineLow(), 48, 48, 0, 0),
+		"engine_high": makeScene(t, volume.EngineBlock(32, 32, 14), transfer.EngineHigh(), 48, 48, 25, 40),
+		"head":        makeScene(t, volume.HeadPhantom(32, 32, 15), transfer.Head(), 48, 48, 10, -30),
+		"cube":        makeScene(t, volume.SolidCube(32, 32, 14), transfer.Cube(), 48, 48, 45, 45),
+	}
+	for name, sc := range scenes {
+		for _, p := range []int{1, 2, 4, 8} {
+			dec, err := partition.Decompose(sc.vol.Bounds(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, methodName := range Names() {
+				comp, err := New(methodName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				final, _ := runComposite(t, sc, comp, dec, p)
+				if d := sc.serial.MaxAbsDiff(final, sc.serial.Full()); d > 1e-9 {
+					t.Errorf("%s %s P=%d: final image differs from serial by %g",
+						name, methodName, p, d)
+				}
+			}
+		}
+	}
+}
+
+// The four paper methods are communication optimizations of the same
+// compositing tree, so their outputs must be bit-identical, not merely
+// close.
+func TestPaperMethodsBitIdentical(t *testing.T) {
+	sc := makeScene(t, volume.HeadPhantom(32, 32, 15), transfer.Head(), 64, 64, 30, 60)
+	const p = 8
+	dec, err := partition.Decompose(sc.vol.Bounds(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := runComposite(t, sc, BS{}, dec, p)
+	for _, m := range []Compositor{BSBR{}, BSLC{}, BSBRC{}} {
+		got, _ := runComposite(t, sc, m, dec, p)
+		for y := 0; y < 64; y++ {
+			for x := 0; x < 64; x++ {
+				if got.At(x, y) != ref.At(x, y) {
+					t.Fatalf("%s differs from BS at (%d,%d): %v vs %v",
+						m.Name(), x, y, got.At(x, y), ref.At(x, y))
+				}
+			}
+		}
+	}
+}
+
+// Eq. 9's robust part: M_max(BS) >= M_max(BSBR) >= M_max(BSBRC) and
+// M_max(BS) >= M_max(BSLC), modulo per-message framing bytes (the
+// paper's "in general"). These hold on any scene because a bounding
+// rectangle never exceeds its half and an encoding never exceeds its
+// rectangle.
+func TestMaxMessageInequality(t *testing.T) {
+	scenes := map[string]*scene{
+		"engine_low":  makeScene(t, volume.EngineBlock(48, 48, 20), transfer.EngineLow(), 96, 96, 0, 0),
+		"engine_high": makeScene(t, volume.EngineBlock(48, 48, 20), transfer.EngineHigh(), 96, 96, 0, 0),
+		"cube":        makeScene(t, volume.SolidCube(48, 48, 20), transfer.Cube(), 96, 96, 20, 30),
+	}
+	for name, sc := range scenes {
+		for _, p := range []int{4, 8, 16} {
+			dec, err := partition.Decompose(sc.vol.Bounds(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mmax := map[string]int{}
+			for _, m := range PaperMethods() {
+				comp, _ := New(m)
+				_, rs := runComposite(t, sc, comp, dec, p)
+				mmax[m] = stats.MaxMessageBytes(rs)
+			}
+			slack := 64 * dec.Stages() // per-message framing allowance
+			if mmax["bs"]+slack < mmax["bsbr"] {
+				t.Errorf("%s P=%d: M_max BS %d < BSBR %d", name, p, mmax["bs"], mmax["bsbr"])
+			}
+			if mmax["bsbr"]+slack < mmax["bsbrc"] {
+				t.Errorf("%s P=%d: M_max BSBR %d < BSBRC %d", name, p, mmax["bsbr"], mmax["bsbrc"])
+			}
+			if mmax["bs"]+slack < mmax["bslc"] {
+				t.Errorf("%s P=%d: M_max BS %d < BSLC %d", name, p, mmax["bs"], mmax["bslc"])
+			}
+		}
+	}
+}
+
+// Eq. 9's load-balancing part: M_max(BSBRC) >= M_max(BSLC) appears when
+// stage split planes lie along the view axis, so paired footprints
+// overlap in screen space and the bounding-rectangle methods must ship a
+// partner's whole content while BSLC ships an interleaved half. A
+// depth-major volume viewed head-on makes stage 1 exactly that case —
+// the geometry the paper's 256x256x110 volumes hit at larger P.
+func TestMaxMessageBSLCWinsOnOverlap(t *testing.T) {
+	vol := volume.EngineBlock(32, 32, 96) // z is the largest extent
+	sc := makeScene(t, vol, transfer.EngineLow(), 96, 96, 0, 0)
+	for _, p := range []int{2, 4, 8} {
+		dec, err := partition.Decompose(sc.vol.Bounds(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Axes[0] != 2 {
+			t.Fatalf("test premise broken: level-0 axis = %d, want z", dec.Axes[0])
+		}
+		mmax := map[string]int{}
+		for _, m := range PaperMethods() {
+			comp, _ := New(m)
+			_, rs := runComposite(t, sc, comp, dec, p)
+			mmax[m] = stats.MaxMessageBytes(rs)
+		}
+		slack := 64 * dec.Stages()
+		if mmax["bsbrc"]+slack < mmax["bslc"] {
+			t.Errorf("P=%d: M_max BSBRC %d < BSLC %d on overlapping footprints",
+				p, mmax["bsbrc"], mmax["bslc"])
+		}
+		if mmax["bsbr"]+slack < mmax["bslc"] {
+			t.Errorf("P=%d: M_max BSBR %d < BSLC %d on overlapping footprints",
+				p, mmax["bsbr"], mmax["bslc"])
+		}
+	}
+}
+
+// The non-power-of-two fold must also reproduce the serial image, for
+// every inner method and odd rank counts.
+func TestFoldedMatchesSerial(t *testing.T) {
+	sc := makeScene(t, volume.EngineBlock(32, 32, 16), transfer.EngineLow(), 48, 48, 15, 25)
+	for _, p := range []int{2, 3, 5, 6, 7, 11, 12} {
+		plan, err := partition.PlanFold(sc.vol.Bounds(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inner := range []Compositor{BS{}, BSBR{}, BSLC{}, BSBRC{}} {
+			comp := &Folded{Plan: plan, Inner: inner}
+			var final *frame.Image
+			err := mp.Run(p, testOpts(), func(c mp.Comm) error {
+				img := render.Raycast(sc.vol, plan.Box(c.Rank()), sc.cam, sc.tf,
+					render.Options{EarlyTermination: -1})
+				res, err := comp.Composite(c, plan.Dec, sc.cam.Dir, img)
+				if err != nil {
+					return err
+				}
+				out, err := GatherImage(c, 0, res)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					final = out
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", comp.Name(), p, err)
+			}
+			if d := sc.serial.MaxAbsDiff(final, sc.serial.Full()); d > 1e-9 {
+				t.Errorf("%s P=%d: differs from serial by %g", comp.Name(), p, d)
+			}
+		}
+	}
+}
+
+// BSBR/BSBRC must not ship blank-only messages as pixels: on the cube
+// (tiny footprint) most stage messages must be empty rectangles, and the
+// empty-rectangle counter must see them.
+func TestBoundingRectSkipsEmptyHalves(t *testing.T) {
+	sc := makeScene(t, volume.SolidCube(48, 48, 20), transfer.Cube(), 96, 96, 0, 0)
+	const p = 16
+	dec, err := partition.Decompose(sc.vol.Bounds(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Compositor{BSBR{}, BSBRC{}} {
+		_, rs := runComposite(t, sc, m, dec, p)
+		empties := 0
+		for _, r := range rs {
+			empties += r.EmptyRecvRects()
+		}
+		if empties == 0 {
+			t.Errorf("%s: no empty receiving rectangles on the cube at P=%d", m.Name(), p)
+		}
+		// Empty-rect messages must cost only the header.
+		for _, r := range rs {
+			for _, s := range r.Stages {
+				if s.RecvRectEmpty && s.BytesRecv != frame.RectBytes {
+					t.Errorf("%s: empty rect stage received %d bytes, want %d",
+						m.Name(), s.BytesRecv, frame.RectBytes)
+				}
+			}
+		}
+	}
+}
+
+// BSLC's interleaving balances received bytes: the spread of per-rank
+// received bytes must be smaller under BSLC than under BSBRC on a scene
+// with very uneven non-blank distribution.
+func TestBSLCBalancesLoad(t *testing.T) {
+	// An off-center object makes block halves very uneven.
+	vol := volume.New(48, 48, 24)
+	vol.Fill(volume.Box{Lo: [3]int{2, 2, 2}, Hi: [3]int{18, 18, 20}}, 130)
+	sc := makeScene(t, vol, transfer.Cube(), 96, 96, 0, 0)
+	const p = 8
+	dec, err := partition.Decompose(sc.vol.Bounds(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(rs []*stats.Rank) float64 {
+		min, max := 1<<62, 0
+		for _, r := range rs {
+			b := r.BytesReceived()
+			if b < min {
+				min = b
+			}
+			if b > max {
+				max = b
+			}
+		}
+		if max == 0 {
+			return 0
+		}
+		return float64(max-min) / float64(max)
+	}
+	_, bslc := runComposite(t, sc, BSLC{}, dec, p)
+	_, bsbrc := runComposite(t, sc, BSBRC{}, dec, p)
+	if spread(bslc) > spread(bsbrc) {
+		t.Errorf("BSLC spread %.3f not tighter than BSBRC %.3f",
+			spread(bslc), spread(bsbrc))
+	}
+}
+
+// Counters must be internally consistent with the message log totals.
+func TestStatsMatchMessageLog(t *testing.T) {
+	sc := makeScene(t, volume.HeadPhantom(32, 32, 15), transfer.Head(), 48, 48, 0, 0)
+	const p = 8
+	dec, err := partition.Decompose(sc.vol.Bounds(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range PaperMethods() {
+		comp, _ := New(name)
+		err := mp.Run(p, testOpts(), func(c mp.Comm) error {
+			img := render.Raycast(sc.vol, dec.Box(c.Rank()), sc.cam, sc.tf,
+				render.Options{EarlyTermination: -1})
+			res, err := comp.Composite(c, dec, sc.cam.Dir, img)
+			if err != nil {
+				return err
+			}
+			if got, want := res.Stats.BytesReceived(), c.Log().BytesReceived(""); got != want {
+				return fmt.Errorf("%s rank %d: stats recv %d, log %d", name, c.Rank(), got, want)
+			}
+			if got, want := res.Stats.BytesSent(), c.Log().BytesSent(""); got != want {
+				return fmt.Errorf("%s rank %d: stats sent %d, log %d", name, c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, n := range Names() {
+		c, err := New(n)
+		if err != nil {
+			t.Errorf("New(%q): %v", n, err)
+		}
+		if c.Name() == "" {
+			t.Errorf("%q has empty display name", n)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("unknown compositor must error")
+	}
+	if len(PaperMethods()) != 4 {
+		t.Error("the paper evaluates four methods")
+	}
+}
+
+func TestCheckWorldMismatch(t *testing.T) {
+	dec, err := partition.Decompose(volume.Box{Hi: [3]int{16, 16, 16}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mp.Run(2, testOpts(), func(c mp.Comm) error {
+		img := frame.NewImage(8, 8)
+		_, err := BS{}.Composite(c, dec, [3]float64{0, 0, 1}, img)
+		if err == nil {
+			return fmt.Errorf("size mismatch must be rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stage ownership replay: after log P stages the rank regions of the
+// swap family tile the full frame exactly.
+func TestFinalRegionsTileFrame(t *testing.T) {
+	sc := makeScene(t, volume.SolidCube(32, 32, 16), transfer.Cube(), 48, 48, 0, 0)
+	const p = 16
+	dec, err := partition.Decompose(sc.vol.Bounds(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owns := make([]Ownership, p)
+	err = mp.Run(p, testOpts(), func(c mp.Comm) error {
+		img := render.Raycast(sc.vol, dec.Box(c.Rank()), sc.cam, sc.tf, render.Options{})
+		res, err := BSBRC{}.Composite(c, dec, sc.cam.Dir, img)
+		if err != nil {
+			return err
+		}
+		owns[c.Rank()] = res.Own
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, o := range owns {
+		total += o.Area()
+	}
+	if total != 48*48 {
+		t.Errorf("owned areas sum to %d, want %d", total, 48*48)
+	}
+	// Pairwise disjoint.
+	for i := 0; i < p; i++ {
+		ri := owns[i].(RectOwn).R
+		for j := i + 1; j < p; j++ {
+			if ri.Overlaps(owns[j].(RectOwn).R) {
+				t.Errorf("regions %d and %d overlap: %v %v", i, j, ri, owns[j].(RectOwn).R)
+			}
+		}
+	}
+}

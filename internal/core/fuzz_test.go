@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"sortlast/internal/frame"
+)
+
+// FuzzParseOwnership feeds arbitrary bytes to the ownership parser used
+// by the final gather: no panic, and accepted descriptors must have a
+// coherent area and survive a pack/unpack cycle.
+func FuzzParseOwnership(f *testing.F) {
+	f.Add(RectOwn{R: frame.XYWH(1, 2, 3, 4)}.AppendWire(nil))
+	f.Add(IntervalOwn{W: 8, Iv: []Interval{{0, 5}, {9, 12}}}.AppendWire(nil))
+	f.Add([]byte{})
+	f.Add([]byte{ownKindInterval, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		own, _, err := ParseOwnership(data)
+		if err != nil {
+			return
+		}
+		area := own.Area()
+		if area < 0 {
+			t.Fatalf("negative area %d", area)
+		}
+		// A descriptor is only touched after it validates against the
+		// receiving frame, exactly as GatherImage does.
+		img := frame.NewImage(256, 256)
+		if own.Validate(img.Full()) != nil {
+			return
+		}
+		px := own.Pack(img)
+		if len(px) != area {
+			t.Fatalf("packed %d pixels for area %d", len(px), area)
+		}
+	})
+}
+
+// FuzzCompositeForwarded feeds arbitrary bytes to the BSDPF message
+// parser.
+func FuzzCompositeForwarded(f *testing.F) {
+	img := frame.NewImage(16, 16)
+	img.Set(2, 3, frame.Pixel{I: 1, A: 1})
+	f.Add(packForwarded(img, img.Full()))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 5, 0, 5, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := frame.NewImage(16, 16)
+		n, err := compositeForwarded(dst, dst.Full(), data, true)
+		if err == nil && n < 0 {
+			t.Fatal("negative composite count")
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"sortlast/internal/frame"
+	"sortlast/internal/partition"
+)
+
+// CompositeSequential composites the per-rank subimages on a single
+// processor by walking the decomposition's depth order front-to-back —
+// the reference every parallel compositor must match. It is used by the
+// validation mode of the harness and by tests; it does not touch the
+// input images.
+func CompositeSequential(imgs []*frame.Image, dec *partition.Decomposition,
+	viewDir [3]float64) *frame.Image {
+	if len(imgs) == 0 {
+		return nil
+	}
+	full := imgs[0].Full()
+	out := frame.NewImage(full.Dx(), full.Dy())
+	for _, r := range dec.DepthOrder(viewDir) {
+		img := imgs[r]
+		b := img.Bounds()
+		if b.Empty() {
+			continue
+		}
+		// out holds everything nearer the viewer, so the next rank's
+		// pixels go behind it.
+		out.CompositeRegion(b, img.PackRegion(b), false)
+	}
+	return out
+}
+
+// CompositeSequentialFold is the sequential reference for a fold plan
+// (arbitrary rank counts).
+func CompositeSequentialFold(imgs []*frame.Image, plan *partition.FoldPlan,
+	viewDir [3]float64) *frame.Image {
+	if len(imgs) == 0 {
+		return nil
+	}
+	full := imgs[0].Full()
+	out := frame.NewImage(full.Dx(), full.Dy())
+	for _, r := range plan.DepthOrder(viewDir) {
+		img := imgs[r]
+		b := img.Bounds()
+		if b.Empty() {
+			continue
+		}
+		out.CompositeRegion(b, img.PackRegion(b), false)
+	}
+	return out
+}

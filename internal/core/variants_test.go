@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/partition"
+	"sortlast/internal/stats"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+func TestPackForwardedRoundTrip(t *testing.T) {
+	img := frame.NewImage(16, 16)
+	img.Set(3, 4, frame.Pixel{I: 0.5, A: 1})
+	img.Set(10, 12, frame.Pixel{I: 0.25, A: 0.5})
+	img.Set(0, 0, frame.Pixel{I: 1, A: 1})
+	region := frame.XYWH(0, 0, 16, 16)
+	buf := packForwarded(img, region)
+	if n := binary.LittleEndian.Uint32(buf); n != 3 {
+		t.Fatalf("forwarded %d pixels, want 3", n)
+	}
+	dst := frame.NewImage(16, 16)
+	composited, err := compositeForwarded(dst, region, buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composited != 3 {
+		t.Errorf("composited = %d", composited)
+	}
+	for _, q := range [][2]int{{3, 4}, {10, 12}, {0, 0}} {
+		if dst.At(q[0], q[1]) != img.At(q[0], q[1]) {
+			t.Errorf("pixel %v lost", q)
+		}
+	}
+}
+
+func TestPackForwardedSkipsBlanksAndClips(t *testing.T) {
+	img := frame.NewImage(16, 16)
+	img.Set(2, 2, frame.Pixel{I: 1, A: 1})
+	img.Set(9, 9, frame.Pixel{I: 1, A: 1})
+	// Region covering only the first pixel.
+	buf := packForwarded(img, frame.XYWH(0, 0, 8, 8))
+	if n := binary.LittleEndian.Uint32(buf); n != 1 {
+		t.Errorf("forwarded %d pixels, want 1", n)
+	}
+}
+
+func TestCompositeForwardedRejectsCorruption(t *testing.T) {
+	img := frame.NewImage(8, 8)
+	keep := frame.XYWH(0, 0, 8, 8)
+	if _, err := compositeForwarded(img, keep, []byte{1, 2}, true); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Count says 2 but only one tuple present.
+	src := frame.NewImage(8, 8)
+	src.Set(1, 1, frame.Pixel{I: 1, A: 1})
+	buf := packForwarded(src, keep)
+	binary.LittleEndian.PutUint32(buf[:4], 2)
+	if _, err := compositeForwarded(img, keep, buf, true); err == nil {
+		t.Error("count/body mismatch accepted")
+	}
+	// A pixel outside the kept half must be rejected.
+	binary.LittleEndian.PutUint32(buf[:4], 1)
+	if _, err := compositeForwarded(img, frame.XYWH(4, 4, 4, 4), buf, true); err == nil {
+		t.Error("out-of-half pixel accepted")
+	}
+}
+
+// The DPF wire cost is 20 bytes per non-blank pixel, the number the
+// paper's §3.3 compares against 2-byte run codes.
+func TestForwardedWireCost(t *testing.T) {
+	img := frame.NewImage(32, 32)
+	for i := 0; i < 10; i++ {
+		img.Set(i, i, frame.Pixel{I: 1, A: 1})
+	}
+	buf := packForwarded(img, img.Full())
+	if len(buf) != 4+10*dpfPixelBytes {
+		t.Errorf("wire size %d, want %d", len(buf), 4+10*dpfPixelBytes)
+	}
+	if dpfPixelBytes != 20 {
+		t.Errorf("dpf pixel bytes = %d, want 20", dpfPixelBytes)
+	}
+}
+
+// On a sparse scene the paper's ordering of encodings must show up in
+// M_max: value-coding (18 B/run, degenerate) > direct forwarding (20 B
+// per non-blank, but only non-blanks) comparable, and both above BSBRC's
+// rect + 2-byte codes.
+func TestVariantEncodingCostOrdering(t *testing.T) {
+	sc := makeScene(t, volume.EngineBlock(48, 48, 96), transfer.EngineLow(), 96, 96, 20, 30)
+	const p = 8
+	dec, err := partition.Decompose(sc.vol.Bounds(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmax := map[string]int{}
+	for _, name := range []string{"bsbrc", "bsdpf", "bsvc", "bs"} {
+		comp, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rs := runComposite(t, sc, comp, dec, p)
+		mmax[name] = stats.MaxMessageBytes(rs)
+	}
+	if mmax["bsbrc"] >= mmax["bsdpf"] {
+		t.Errorf("BSBRC M_max %d not below BSDPF %d", mmax["bsbrc"], mmax["bsdpf"])
+	}
+	if mmax["bsvc"] >= mmax["bs"] {
+		t.Errorf("BSVC M_max %d not below raw BS %d (value runs still skip blanks)",
+			mmax["bsvc"], mmax["bs"])
+	}
+	if mmax["bsdpf"] >= mmax["bs"] {
+		t.Errorf("BSDPF M_max %d not below raw BS %d", mmax["bsdpf"], mmax["bs"])
+	}
+}

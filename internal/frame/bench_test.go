@@ -1,0 +1,70 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchImage(density float64, w, h int) *Image {
+	r := rand.New(rand.NewSource(1))
+	im := NewImageBounds(w, h, XYWH(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if r.Float64() < density {
+				a := 0.2 + 0.8*r.Float64()
+				im.Set(x, y, Pixel{I: a * r.Float64(), A: a})
+			}
+		}
+	}
+	return im
+}
+
+func BenchmarkOver(b *testing.B) {
+	f := Pixel{I: 0.3, A: 0.5}
+	bk := Pixel{I: 0.6, A: 0.7}
+	var out Pixel
+	for i := 0; i < b.N; i++ {
+		out = Over(f, bk)
+	}
+	_ = out
+}
+
+func BenchmarkCompositeRegion(b *testing.B) {
+	src := benchImage(0.3, 384, 192)
+	pixels := src.PackRegion(src.Full())
+	dst := benchImage(0.3, 384, 192)
+	region := dst.Full()
+	b.SetBytes(int64(len(pixels) * PixelBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.CompositeRegion(region, pixels, true)
+	}
+}
+
+func BenchmarkBoundingRect(b *testing.B) {
+	for _, density := range []float64{0.01, 0.3} {
+		name := "sparse"
+		if density > 0.1 {
+			name = "dense"
+		}
+		b.Run(name, func(b *testing.B) {
+			im := benchImage(density, 384, 384)
+			b.SetBytes(384 * 384 * PixelBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				im.BoundingRect(im.Full())
+			}
+		})
+	}
+}
+
+func BenchmarkPackUnpackPixels(b *testing.B) {
+	im := benchImage(0.5, 384, 192)
+	pixels := im.PackRegion(im.Full())
+	b.SetBytes(int64(len(pixels) * PixelBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := PackPixels(pixels)
+		UnpackPixels(buf, len(pixels))
+	}
+}

@@ -1,0 +1,318 @@
+package frame
+
+import "fmt"
+
+// Image is a sparse sub-image: a window (Bounds) of pixel storage inside
+// a conceptual full frame (Full). Pixels outside Bounds read as blank.
+//
+// Every rank in the sort-last pipeline holds one Image. After rendering,
+// Bounds covers the screen footprint of the rank's subvolume; during
+// binary-swap compositing the owned region shrinks while received pixels
+// are composited in place. Keeping storage limited to Bounds keeps
+// 64-rank runs at 768x768 affordable.
+type Image struct {
+	full   Rect
+	bounds Rect
+	pix    []Pixel // row-major over bounds; len == bounds.Area()
+}
+
+// NewImage returns an image with a full frame of w x h pixels and no
+// allocated storage (every pixel blank).
+func NewImage(w, h int) *Image {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("frame: negative image size %dx%d", w, h))
+	}
+	return &Image{full: Rect{0, 0, w, h}}
+}
+
+// NewImageBounds returns an image with the given full frame and pixel
+// storage allocated (blank) over bounds, which must lie inside the frame.
+func NewImageBounds(w, h int, bounds Rect) *Image {
+	im := NewImage(w, h)
+	bounds = bounds.Canon()
+	if !im.full.ContainsRect(bounds) {
+		panic(fmt.Sprintf("frame: bounds %v outside full frame %v", bounds, im.full))
+	}
+	im.bounds = bounds
+	im.pix = make([]Pixel, bounds.Area())
+	return im
+}
+
+// Full returns the full-frame rectangle.
+func (im *Image) Full() Rect { return im.full }
+
+// Bounds returns the rectangle over which pixel storage is allocated.
+func (im *Image) Bounds() Rect { return im.bounds }
+
+// Width and Height return the full-frame dimensions.
+func (im *Image) Width() int  { return im.full.Dx() }
+func (im *Image) Height() int { return im.full.Dy() }
+
+// index returns the storage index of (x, y), which must be in bounds.
+func (im *Image) index(x, y int) int {
+	return (y-im.bounds.Y0)*im.bounds.Dx() + (x - im.bounds.X0)
+}
+
+// At returns the pixel at (x, y). Pixels outside the allocated bounds are
+// blank; reading outside the full frame is a bug and panics.
+func (im *Image) At(x, y int) Pixel {
+	if !im.full.Contains(x, y) {
+		panic(fmt.Sprintf("frame: At(%d,%d) outside full frame %v", x, y, im.full))
+	}
+	if !im.bounds.Contains(x, y) {
+		return Pixel{}
+	}
+	return im.pix[im.index(x, y)]
+}
+
+// Set stores p at (x, y), growing the allocated bounds if necessary.
+func (im *Image) Set(x, y int, p Pixel) {
+	if !im.bounds.Contains(x, y) {
+		im.Grow(Rect{x, y, x + 1, y + 1})
+	}
+	im.pix[im.index(x, y)] = p
+}
+
+// Grow extends the allocated bounds to cover r (intersected with the full
+// frame), preserving existing pixel contents. Growing to an already
+// covered rectangle is a no-op.
+func (im *Image) Grow(r Rect) {
+	r = r.Intersect(im.full)
+	if im.bounds.ContainsRect(r) {
+		return
+	}
+	nb := im.bounds.Union(r)
+	np := make([]Pixel, nb.Area())
+	if !im.bounds.Empty() {
+		w := im.bounds.Dx()
+		nw := nb.Dx()
+		for y := im.bounds.Y0; y < im.bounds.Y1; y++ {
+			srcOff := (y - im.bounds.Y0) * w
+			dstOff := (y-nb.Y0)*nw + (im.bounds.X0 - nb.X0)
+			copy(np[dstOff:dstOff+w], im.pix[srcOff:srcOff+w])
+		}
+	}
+	im.bounds = nb
+	im.pix = np
+}
+
+// Row returns the pixel storage for the portion of scanline y that lies
+// within both the allocated bounds and x in [x0, x1). It returns nil when
+// the scanline does not intersect the bounds. The returned slice aliases
+// the image storage.
+func (im *Image) Row(y, x0, x1 int) []Pixel {
+	if y < im.bounds.Y0 || y >= im.bounds.Y1 {
+		return nil
+	}
+	if x0 < im.bounds.X0 {
+		x0 = im.bounds.X0
+	}
+	if x1 > im.bounds.X1 {
+		x1 = im.bounds.X1
+	}
+	if x0 >= x1 {
+		return nil
+	}
+	i := im.index(x0, y)
+	return im.pix[i : i+(x1-x0)]
+}
+
+// Clear resets every allocated pixel to blank without releasing storage.
+func (im *Image) Clear() {
+	for i := range im.pix {
+		im.pix[i] = Pixel{}
+	}
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	cp := &Image{full: im.full, bounds: im.bounds}
+	cp.pix = make([]Pixel, len(im.pix))
+	copy(cp.pix, im.pix)
+	return cp
+}
+
+// BoundingRect scans region (clipped to the frame) and returns the
+// smallest rectangle covering every non-blank pixel, ZR when all pixels
+// are blank. This is the O(A) scan the paper charges as T_bound in the
+// first compositing stage of BSBR/BSBRC (Eq. 3, 7). It returns the number
+// of pixels examined so callers can account the scan cost exactly.
+func (im *Image) BoundingRect(region Rect) (Rect, int) {
+	region = region.Intersect(im.full)
+	scan := region.Area()
+	region = region.Intersect(im.bounds)
+	if region.Empty() {
+		return ZR, scan
+	}
+	br := ZR
+	for y := region.Y0; y < region.Y1; y++ {
+		row := im.Row(y, region.X0, region.X1)
+		base := region.X0
+		for x, p := range row {
+			if p.Blank() {
+				continue
+			}
+			px := base + x
+			if br.Empty() {
+				br = Rect{px, y, px + 1, y + 1}
+				continue
+			}
+			if px < br.X0 {
+				br.X0 = px
+			}
+			if px >= br.X1 {
+				br.X1 = px + 1
+			}
+			br.Y1 = y + 1
+		}
+	}
+	return br, scan
+}
+
+// CountNonBlank returns the number of non-blank pixels inside region.
+func (im *Image) CountNonBlank(region Rect) int {
+	region = region.Intersect(im.bounds)
+	n := 0
+	for y := region.Y0; y < region.Y1; y++ {
+		for _, p := range im.Row(y, region.X0, region.X1) {
+			if !p.Blank() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PackRegion copies the pixels of region (clipped to the full frame) into
+// a dense row-major slice, with blanks where the region lies outside the
+// allocated bounds. This is the "pack pixels into a sending buffer" step
+// of BS and BSBR.
+func (im *Image) PackRegion(region Rect) []Pixel {
+	region = region.Intersect(im.full)
+	out := make([]Pixel, region.Area())
+	w := region.Dx()
+	for y := region.Y0; y < region.Y1; y++ {
+		row := im.Row(y, region.X0, region.X1)
+		if row == nil {
+			continue
+		}
+		// Row may be clipped on the left; recompute its x origin.
+		x0 := region.X0
+		if im.bounds.X0 > x0 {
+			x0 = im.bounds.X0
+		}
+		off := (y-region.Y0)*w + (x0 - region.X0)
+		copy(out[off:off+len(row)], row)
+	}
+	return out
+}
+
+// CompositeRegion composites the dense row-major pixels src (of exactly
+// region.Area() elements) with the image's pixels over region. When
+// srcInFront is true the incoming pixels are in front of the local ones,
+// otherwise behind. It grows the allocated bounds to cover region and
+// returns the number of over operations applied to non-blank incoming
+// pixels (the paper's composited-pixel count driving T_o).
+func (im *Image) CompositeRegion(region Rect, src []Pixel, srcInFront bool) int {
+	region = region.Intersect(im.full)
+	if len(src) != region.Area() {
+		panic(fmt.Sprintf("frame: CompositeRegion: %d pixels for region %v (want %d)",
+			len(src), region, region.Area()))
+	}
+	if region.Empty() {
+		return 0
+	}
+	im.Grow(region)
+	w := region.Dx()
+	ops := 0
+	for y := region.Y0; y < region.Y1; y++ {
+		dst := im.Row(y, region.X0, region.X1)
+		srow := src[(y-region.Y0)*w : (y-region.Y0)*w+w]
+		for x := range srow {
+			s := srow[x]
+			if s.Blank() {
+				continue
+			}
+			ops++
+			if srcInFront {
+				OverInto(s, &dst[x])
+			} else {
+				dst[x] = Over(dst[x], s)
+			}
+		}
+	}
+	return ops
+}
+
+// StoreRegion writes the dense row-major pixels src (exactly
+// region.Area() elements) into the image over region, replacing existing
+// contents and growing the bounds as needed.
+func (im *Image) StoreRegion(region Rect, src []Pixel) {
+	region = region.Intersect(im.full)
+	if len(src) != region.Area() {
+		panic(fmt.Sprintf("frame: StoreRegion: %d pixels for region %v (want %d)",
+			len(src), region, region.Area()))
+	}
+	if region.Empty() {
+		return
+	}
+	im.Grow(region)
+	w := region.Dx()
+	for y := region.Y0; y < region.Y1; y++ {
+		dst := im.Row(y, region.X0, region.X1)
+		copy(dst, src[(y-region.Y0)*w:(y-region.Y0)*w+w])
+	}
+}
+
+// CompositePixel composites a single incoming pixel at (x, y), in front
+// of or behind the local pixel. Callers compositing many pixels should
+// Grow the image to the target region first to avoid repeated
+// reallocation.
+func (im *Image) CompositePixel(x, y int, p Pixel, srcInFront bool) {
+	local := im.At(x, y)
+	if srcInFront {
+		im.Set(x, y, Over(p, local))
+	} else {
+		im.Set(x, y, Over(local, p))
+	}
+}
+
+// NonBlankEqual reports whether im and other agree (within eps) on every
+// pixel of region, treating unallocated pixels as blank.
+func (im *Image) NonBlankEqual(other *Image, region Rect, eps float64) bool {
+	region = region.Intersect(im.full)
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			if !im.At(x, y).NearlyEqual(other.At(x, y), eps) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest per-channel absolute difference between
+// im and other over region.
+func (im *Image) MaxAbsDiff(other *Image, region Rect) float64 {
+	region = region.Intersect(im.full)
+	max := 0.0
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			a, b := im.At(x, y), other.At(x, y)
+			if d := abs(a.I - b.I); d > max {
+				max = d
+			}
+			if d := abs(a.A - b.A); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,38 @@
+package frame
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WritePGM writes the image as a binary 8-bit PGM (gray) file, matching
+// the paper's 8-bit gray-level output. Unallocated pixels are black.
+func (im *Image) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.Width(), im.Height()); err != nil {
+		return err
+	}
+	for y := 0; y < im.Height(); y++ {
+		for x := 0; x < im.Width(); x++ {
+			if err := bw.WriteByte(im.At(x, y).Gray()); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePGMFile writes the image to a PGM file at path.
+func (im *Image) WritePGMFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := im.WritePGM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

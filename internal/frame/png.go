@@ -1,0 +1,37 @@
+package frame
+
+import (
+	"image"
+	"image/png"
+	"io"
+	"os"
+)
+
+// GrayImage converts to a standard-library 8-bit grayscale image.
+func (im *Image) GrayImage() *image.Gray {
+	g := image.NewGray(image.Rect(0, 0, im.Width(), im.Height()))
+	for y := 0; y < im.Height(); y++ {
+		for x := 0; x < im.Width(); x++ {
+			g.Pix[y*g.Stride+x] = im.At(x, y).Gray()
+		}
+	}
+	return g
+}
+
+// WritePNG writes the image as a grayscale PNG.
+func (im *Image) WritePNG(w io.Writer) error {
+	return png.Encode(w, im.GrayImage())
+}
+
+// WritePNGFile writes the image to a PNG file at path.
+func (im *Image) WritePNGFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := im.WritePNG(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,457 @@
+// Package harness drives the full sort-last pipeline for one experiment
+// configuration — partitioning, parallel rendering, compositing, final
+// gather — and reduces the per-rank counters to the row format of the
+// paper's tables: modeled T_comp / T_comm / T_total (ms), the maximum
+// received message size M_max, and the empty-rectangle counts of §3.2.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"sortlast/internal/core"
+	"sortlast/internal/costmodel"
+	"sortlast/internal/frame"
+	"sortlast/internal/mesh"
+	"sortlast/internal/mp"
+	"sortlast/internal/partition"
+	"sortlast/internal/render"
+	"sortlast/internal/stats"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+// volumeSource is what the rendering phase needs from volume data: both
+// the full volume and a ghosted subvolume provide it.
+type volumeSource interface {
+	render.Sampler
+	mesh.Source
+}
+
+// Config describes one experiment: dataset x method x P x image size x
+// viewpoint, plus model parameters.
+type Config struct {
+	// Dataset is one of the paper's four workloads: engine_low,
+	// engine_high, head, cube. Volume/TF override it when set.
+	Dataset string
+	Volume  *volume.Volume
+	TF      *transfer.Func
+
+	Width, Height int
+	P             int
+	Method        string // core registry name (bs, bsbr, bslc, bsbrc, ...)
+
+	// RotX and RotY rotate the viewpoint (degrees), the paper's §3.2
+	// rotation study.
+	RotX, RotY float64
+
+	// Params are the cost-model constants; zero value means the SP2
+	// preset.
+	Params costmodel.Params
+
+	// RenderOpts tune the ray caster (zero value: defaults).
+	RenderOpts render.Options
+
+	// Surface switches the rendering phase from ray casting to the
+	// surface path (paper §1): marching-tetrahedra isosurface extraction
+	// at IsoLevel followed by z-buffered rasterization. Surface images
+	// are opaque (alpha 1), so the same compositors apply unchanged.
+	Surface    bool
+	IsoLevel   uint8 // default 128
+	RasterOpts render.RasterOptions
+
+	// Granularity is BSLC's interleave section size (0: one scanline).
+	Granularity int
+
+	// DistributeVolume exercises the partitioning phase: rank 0 extracts
+	// subvolumes with ghost cells and scatters them, and each rank
+	// renders only from its own subvolume. Off by default because the
+	// in-process transport can share the immutable volume.
+	DistributeVolume bool
+
+	// BalanceRender splits the volume at estimated-work medians instead
+	// of spatial midpoints (the paper's §5 rendering-phase load
+	// balancing). Requires a power-of-two P.
+	BalanceRender bool
+
+	// Validate gathers the pristine subimages at rank 0 after
+	// compositing and compares the parallel result against the
+	// sequential depth-order reference, recording the difference in
+	// Row.ValidateDiff and failing the run if it exceeds 1e-9.
+	Validate bool
+
+	// Options for the message-passing world (zero value: defaults).
+	WorldOpts mp.Options
+}
+
+// Row is one line of a paper-style table.
+type Row struct {
+	Dataset       string
+	Method        string
+	P             int
+	Width, Height int
+
+	CompMS  float64 // modeled T_comp, max over ranks
+	CommMS  float64 // modeled T_comm, max over ranks
+	TotalMS float64 // CompMS + CommMS (the paper's per-processor sum)
+
+	// MakespanMS is the schedule-aware completion time: stage-k
+	// compositing waits for the partner's message, so slow partners
+	// stall pairs. Only computed for the binary-swap family.
+	MakespanMS float64
+
+	MeasuredCompMS float64 // measured compositing compute, max over ranks
+	RenderMS       float64 // measured rendering wall, max over ranks
+
+	MMax       int // maximum received message size (bytes)
+	EmptyRects int // empty receiving bounding rectangles, all ranks
+	NonBlank   int // non-blank pixels in the final image
+
+	// ValidateDiff is the max per-channel difference from the sequential
+	// reference when Config.Validate is set (else 0).
+	ValidateDiff float64
+}
+
+// datasetCache avoids regenerating the procedural volumes for every
+// experiment; they are immutable once built.
+var datasetCache sync.Map // map[string]*volume.Volume
+
+func datasetVolume(name string) (*volume.Volume, error) {
+	base := ""
+	switch name {
+	case "engine_low", "engine_high":
+		base = volume.DatasetEngine
+	case "head":
+		base = volume.DatasetHead
+	case "cube":
+		base = volume.DatasetCube
+	default:
+		return nil, fmt.Errorf("harness: unknown dataset %q", name)
+	}
+	if v, ok := datasetCache.Load(base); ok {
+		return v.(*volume.Volume), nil
+	}
+	v, err := volume.Generate(base)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := datasetCache.LoadOrStore(base, v)
+	return actual.(*volume.Volume), nil
+}
+
+// Dataset resolves one of the paper's workload names to its (cached)
+// volume and transfer function.
+func Dataset(name string) (*volume.Volume, *transfer.Func, error) {
+	v, err := datasetVolume(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	tf, err := transfer.Preset(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, tf, nil
+}
+
+func (cfg *Config) resolve() (*volume.Volume, *transfer.Func, error) {
+	vol, tf := cfg.Volume, cfg.TF
+	if vol == nil {
+		v, err := datasetVolume(cfg.Dataset)
+		if err != nil {
+			return nil, nil, err
+		}
+		vol = v
+	}
+	if tf == nil {
+		f, err := transfer.Preset(cfg.Dataset)
+		if err != nil {
+			return nil, nil, err
+		}
+		tf = f
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, nil, fmt.Errorf("harness: image size %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.P <= 0 {
+		return nil, nil, fmt.Errorf("harness: P = %d", cfg.P)
+	}
+	return vol, tf, nil
+}
+
+func (cfg *Config) params() costmodel.Params {
+	if cfg.Params == (costmodel.Params{}) {
+		return costmodel.SP2()
+	}
+	return cfg.Params
+}
+
+// newCompositor builds the configured compositor, wrapping it in the
+// non-power-of-two fold when needed.
+func (cfg *Config) newCompositor(vol *volume.Volume) (core.Compositor, *partition.Decomposition, func(int) volume.Box, error) {
+	bounds := vol.Bounds()
+	inner, err := core.New(cfg.Method)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if b, ok := inner.(core.BSLC); ok {
+		b.Granularity = cfg.Granularity
+		inner = b
+	}
+	if b, ok := inner.(core.BSBRLC); ok {
+		b.Granularity = cfg.Granularity
+		inner = b
+	}
+	if cfg.P&(cfg.P-1) == 0 {
+		var dec *partition.Decomposition
+		if cfg.BalanceRender {
+			dec, err = partition.DecomposeWeighted(bounds, cfg.P,
+				volume.VoxelWork{Vol: vol, Threshold: 20})
+		} else {
+			dec, err = partition.Decompose(bounds, cfg.P)
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return inner, dec, dec.Box, nil
+	}
+	if cfg.BalanceRender {
+		return nil, nil, nil, fmt.Errorf("harness: BalanceRender requires a power-of-two P, got %d", cfg.P)
+	}
+	switch cfg.Method {
+	case "bs", "bsbr", "bslc", "bsbrc", "bsdpf", "bsvc", "bsbrlc":
+	default:
+		return nil, nil, nil, fmt.Errorf("harness: method %q requires a power-of-two P, got %d",
+			cfg.Method, cfg.P)
+	}
+	plan, err := partition.PlanFold(bounds, cfg.P)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &core.Folded{Plan: plan, Inner: inner}, plan.Dec, plan.Box, nil
+}
+
+// Run executes the experiment and returns its table row.
+func Run(cfg Config) (*Row, error) {
+	row, _, _, err := run(cfg, false)
+	return row, err
+}
+
+// RunWithImage executes the experiment and also returns the final image
+// gathered at rank 0.
+func RunWithImage(cfg Config) (*Row, *frame.Image, error) {
+	row, img, _, err := run(cfg, true)
+	return row, img, err
+}
+
+// RunDetailed additionally returns the per-rank counters, for timeline
+// and stage-breakdown reporting.
+func RunDetailed(cfg Config) (*Row, []*stats.Rank, error) {
+	row, _, rs, err := run(cfg, false)
+	return row, rs, err
+}
+
+func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) {
+	vol, tf, err := cfg.resolve()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	comp, dec, boxOf, err := cfg.newCompositor(vol)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cam := render.NewCamera(cfg.Width, cfg.Height, vol.Bounds(), cfg.RotX, cfg.RotY)
+
+	rankStats := make([]*stats.Rank, cfg.P)
+	renderWall := make([]time.Duration, cfg.P)
+	var final *frame.Image
+	var validateDiff float64
+
+	err = mp.Run(cfg.P, cfg.WorldOpts, func(c mp.Comm) error {
+		me := c.Rank()
+		box := boxOf(me)
+
+		var src volumeSource = vol
+		if cfg.DistributeVolume {
+			sub, err := distribute(c, vol, boxOf, cfg.RenderOpts.Shaded)
+			if err != nil {
+				return err
+			}
+			src = sub
+		}
+
+		start := time.Now()
+		var img *frame.Image
+		if cfg.Surface {
+			iso := cfg.IsoLevel
+			if iso == 0 {
+				iso = 128
+			}
+			m := mesh.Extract(src, mesh.CellsFor(box, vol.Bounds()), iso)
+			img = render.Rasterize(m, cam, cfg.RasterOpts)
+		} else {
+			img = render.Raycast(src, box, cam, tf, cfg.RenderOpts)
+		}
+		renderWall[me] = time.Since(start)
+
+		var pristine *frame.Image
+		if cfg.Validate {
+			pristine = img.Clone()
+		}
+
+		if err := c.Barrier(); err != nil { // compositing starts together
+			return err
+		}
+		res, err := comp.Composite(c, dec, cam.Dir, img)
+		if err != nil {
+			return err
+		}
+		rankStats[me] = res.Stats
+
+		out, err := core.GatherImage(c, 0, res)
+		if err != nil {
+			return err
+		}
+		if me == 0 {
+			final = out
+		}
+		if cfg.Validate {
+			d, err := validateAgainstSequential(c, comp, dec, cam.Dir, pristine, out)
+			if err != nil {
+				return err
+			}
+			if me == 0 {
+				validateDiff = d
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	p := cfg.params()
+	cost := p.World(rankStats)
+	makespan := p.Makespan(rankStats)
+	row := &Row{
+		Dataset: cfg.Dataset, Method: comp.Name(), P: cfg.P,
+		Width: cfg.Width, Height: cfg.Height,
+		CompMS:         ms(cost.Comp),
+		CommMS:         ms(cost.Comm),
+		TotalMS:        ms(cost.Comp) + ms(cost.Comm),
+		MeasuredCompMS: ms(stats.MaxCompWall(rankStats)),
+		MakespanMS:     ms(makespan),
+		MMax:           stats.MaxMessageBytes(rankStats),
+	}
+	for _, r := range rankStats {
+		if r != nil {
+			row.EmptyRects += r.EmptyRecvRects()
+		}
+	}
+	var maxRender time.Duration
+	for _, d := range renderWall {
+		if d > maxRender {
+			maxRender = d
+		}
+	}
+	row.RenderMS = ms(maxRender)
+	row.ValidateDiff = validateDiff
+	if final != nil {
+		row.NonBlank = final.CountNonBlank(final.Full())
+	}
+	if !wantImage {
+		final = nil
+	}
+	return row, final, rankStats, nil
+}
+
+// validateAgainstSequential gathers every rank's pristine subimage at
+// rank 0, composites them sequentially in depth order, and compares with
+// the parallel result.
+func validateAgainstSequential(c mp.Comm, comp core.Compositor,
+	dec *partition.Decomposition, viewDir [3]float64,
+	pristine, final *frame.Image) (float64, error) {
+	b := pristine.Bounds()
+	payload := make([]byte, frame.RectBytes)
+	frame.PutRect(payload, b)
+	payload = append(payload, frame.PackPixels(pristine.PackRegion(b))...)
+	parts, err := c.Gather(0, payload)
+	if err != nil {
+		return 0, err
+	}
+	if c.Rank() != 0 {
+		return 0, nil
+	}
+	imgs := make([]*frame.Image, len(parts))
+	full := pristine.Full()
+	for r, part := range parts {
+		if len(part) < frame.RectBytes {
+			return 0, fmt.Errorf("harness: validate: short subimage from rank %d", r)
+		}
+		rb := frame.GetRect(part)
+		img := frame.NewImage(full.Dx(), full.Dy())
+		if !rb.Empty() {
+			img.StoreRegion(rb, frame.UnpackPixels(part[frame.RectBytes:], rb.Area()))
+		}
+		imgs[r] = img
+	}
+	var ref *frame.Image
+	if folded, ok := comp.(*core.Folded); ok {
+		ref = core.CompositeSequentialFold(imgs, folded.Plan, viewDir)
+	} else {
+		ref = core.CompositeSequential(imgs, dec, viewDir)
+	}
+	d := ref.MaxAbsDiff(final, full)
+	if d > 1e-9 {
+		return d, fmt.Errorf("harness: parallel result differs from sequential reference by %g", d)
+	}
+	return d, nil
+}
+
+// distribute implements the partitioning phase: rank 0 extracts every
+// rank's subvolume (with enough ghost cells for the render options) and
+// scatters them; each rank deserializes its own.
+func distribute(c mp.Comm, vol *volume.Volume, boxOf func(int) volume.Box,
+	shaded bool) (*volume.Subvolume, error) {
+	ghost := 1
+	if shaded {
+		ghost = 2
+	}
+	var payloads [][]byte
+	if c.Rank() == 0 {
+		payloads = make([][]byte, c.Size())
+		for r := 0; r < c.Size(); r++ {
+			sub, err := volume.Extract(vol, boxOf(r), ghost)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := sub.Serialize(&buf); err != nil {
+				return nil, err
+			}
+			payloads[r] = buf.Bytes()
+		}
+	}
+	mine, err := c.Scatter(0, payloads)
+	if err != nil {
+		return nil, err
+	}
+	return volume.ReadSubvolume(bytes.NewReader(mine))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// PowersOfTwo returns {2, 4, ..., max} — the paper's processor-count
+// sweep.
+func PowersOfTwo(max int) []int {
+	var out []int
+	for p := 2; p <= max; p *= 2 {
+		out = append(out, p)
+	}
+	return out
+}
+
+// IsPow2 reports whether p is a positive power of two.
+func IsPow2(p int) bool { return p > 0 && bits.OnesCount(uint(p)) == 1 }

@@ -1,0 +1,154 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"sortlast/internal/partition"
+	"sortlast/internal/volume"
+)
+
+func TestExtractEmptyAndFullCells(t *testing.T) {
+	empty := volume.New(8, 8, 8)
+	m := Extract(empty, CellsFor(empty.Bounds(), empty.Bounds()), 100)
+	if m.Len() != 0 {
+		t.Errorf("empty volume produced %d triangles", m.Len())
+	}
+	full := volume.New(8, 8, 8)
+	full.Fill(full.Bounds(), 200)
+	// Entirely-inside cells produce no surface; only the boundary does
+	// (the outermost cells see the implicit zero outside... they do not:
+	// CellsFor clips to interior cells, and all corners read 200).
+	m = Extract(full, CellsFor(full.Bounds(), full.Bounds()), 100)
+	if m.Len() != 0 {
+		t.Errorf("uniform volume produced %d triangles", m.Len())
+	}
+}
+
+func TestExtractSphereProperties(t *testing.T) {
+	v := volume.Sphere(32, 32, 32, 0.7, 200)
+	m := Extract(v, CellsFor(v.Bounds(), v.Bounds()), 100)
+	if m.Len() < 500 {
+		t.Fatalf("sphere surface has only %d triangles", m.Len())
+	}
+	// Every vertex must lie near the sphere of radius r = 0.7*16 = 11.2
+	// centered at (16,16,16): within one cell diagonal.
+	const r = 11.2
+	for _, tri := range m.Tris {
+		for _, p := range tri.V {
+			d := math.Sqrt((p[0]-16)*(p[0]-16) + (p[1]-16)*(p[1]-16) + (p[2]-16)*(p[2]-16))
+			if math.Abs(d-r) > 2.0 {
+				t.Fatalf("vertex %v at distance %.2f from center, want ~%.1f", p, d, r)
+			}
+		}
+	}
+	lo, hi, ok := m.Bounds()
+	if !ok {
+		t.Fatal("bounds must exist")
+	}
+	for a := 0; a < 3; a++ {
+		if lo[a] < 16-r-2 || hi[a] > 16+r+2 {
+			t.Errorf("bounds [%v,%v] exceed sphere", lo, hi)
+		}
+	}
+}
+
+// Vertices lie exactly on the iso-level of the trilinear field along
+// cell edges: interpolated positions must reproduce the threshold.
+func TestExtractVerticesOnIsoLevel(t *testing.T) {
+	v := volume.New(8, 8, 8)
+	// A linear ramp along x: value = 32*x.
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				v.Set(x, y, z, uint8(32*x))
+			}
+		}
+	}
+	const iso = 100
+	m := Extract(v, CellsFor(v.Bounds(), v.Bounds()), iso)
+	if m.Len() == 0 {
+		t.Fatal("ramp must cross the iso level")
+	}
+	// The surface is the plane where 32*x = 100, i.e. x = 3.125.
+	want := 100.0 / 32.0
+	for _, tri := range m.Tris {
+		for _, p := range tri.V {
+			if math.Abs(p[0]-want) > 1e-9 {
+				t.Fatalf("vertex x = %v, want %v", p[0], want)
+			}
+		}
+	}
+}
+
+// Per-rank extraction covers every cell exactly once: the triangle count
+// over the partition equals the serial count.
+func TestExtractPartitionTilesCells(t *testing.T) {
+	v := volume.HeadPhantom(32, 32, 16)
+	serial := Extract(v, CellsFor(v.Bounds(), v.Bounds()), 150)
+	for _, p := range []int{2, 4, 8} {
+		dec, err := partition.Decompose(v.Bounds(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		cellsSeen := 0
+		for r := 0; r < p; r++ {
+			cells := CellsFor(dec.Box(r), v.Bounds())
+			cellsSeen += cells.Volume()
+			total += Extract(v, cells, 150).Len()
+		}
+		if total != serial.Len() {
+			t.Errorf("P=%d: partitioned triangles %d, serial %d", p, total, serial.Len())
+		}
+	}
+}
+
+// Extraction from a ghosted subvolume matches extraction from the full
+// volume over the same cells.
+func TestExtractFromSubvolume(t *testing.T) {
+	v := volume.EngineBlock(32, 32, 16)
+	box := volume.Box{Lo: [3]int{8, 8, 4}, Hi: [3]int{24, 24, 12}}
+	sub, err := volume.Extract(v, box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := CellsFor(box, v.Bounds())
+	a := Extract(v, cells, 150)
+	b := Extract(sub, cells, 150)
+	if a.Len() != b.Len() {
+		t.Fatalf("triangle counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Tris {
+		if a.Tris[i] != b.Tris[i] {
+			t.Fatalf("triangle %d differs", i)
+		}
+	}
+}
+
+func TestCellsForClipping(t *testing.T) {
+	grid := volume.Box{Hi: [3]int{16, 16, 16}}
+	// A box at the far corner: cells must clip one short of the grid.
+	cells := CellsFor(volume.Box{Lo: [3]int{8, 8, 8}, Hi: [3]int{16, 16, 16}}, grid)
+	if cells.Hi != [3]int{15, 15, 15} {
+		t.Errorf("cells = %v", cells)
+	}
+	// A degenerate box collapses.
+	if !CellsFor(volume.Box{Lo: [3]int{15, 0, 0}, Hi: [3]int{16, 1, 1}}, grid).Empty() == false {
+		t.Log("single-layer box keeps its cells")
+	}
+	empty := CellsFor(volume.Box{Lo: [3]int{15, 15, 15}, Hi: [3]int{16, 16, 16}}, grid)
+	if !empty.Empty() {
+		t.Errorf("corner sliver cells = %v, want empty", empty)
+	}
+}
+
+func TestNormalsNonDegenerate(t *testing.T) {
+	v := volume.Sphere(24, 24, 24, 0.6, 255)
+	m := Extract(v, CellsFor(v.Bounds(), v.Bounds()), 128)
+	for i, tri := range m.Tris {
+		if tri.Normal == ([3]float64{}) {
+			t.Fatalf("triangle %d has zero normal", i)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package mp
+
+// Dir distinguishes sent from received messages in the log.
+type Dir int
+
+// Message directions.
+const (
+	DirSend Dir = iota
+	DirRecv
+)
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	if d == DirSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// LogEntry records one message for cost accounting. Bytes is the payload
+// size; the cost model adds protocol overheads itself so the log stays
+// transport-independent.
+type LogEntry struct {
+	Dir   Dir
+	Peer  int
+	Tag   int
+	Bytes int
+	Stage string
+}
+
+// MsgLog accumulates one rank's message history. It is owned by a single
+// rank goroutine and needs no locking; the harness reads it only after
+// the world has been joined.
+type MsgLog struct {
+	Entries []LogEntry
+
+	// Internal traffic (collectives) is counted separately so the cost
+	// model can charge only algorithm messages, as the paper does.
+	internalDepth int
+}
+
+func (l *MsgLog) record(dir Dir, peer, tag, bytes int, stage string) {
+	if l == nil || l.internalDepth > 0 {
+		return
+	}
+	l.Entries = append(l.Entries, LogEntry{Dir: dir, Peer: peer, Tag: tag, Bytes: bytes, Stage: stage})
+}
+
+// beginInternal suppresses logging for collective plumbing.
+func (l *MsgLog) beginInternal() {
+	if l != nil {
+		l.internalDepth++
+	}
+}
+
+func (l *MsgLog) endInternal() {
+	if l != nil {
+		l.internalDepth--
+	}
+}
+
+// Reset drops all recorded entries.
+func (l *MsgLog) Reset() {
+	if l != nil {
+		l.Entries = l.Entries[:0]
+	}
+}
+
+// BytesReceived sums received payload bytes, optionally filtered by
+// stage ("" matches every stage).
+func (l *MsgLog) BytesReceived(stage string) int {
+	return l.sum(DirRecv, stage, func(e LogEntry) int { return e.Bytes })
+}
+
+// BytesSent sums sent payload bytes, optionally filtered by stage.
+func (l *MsgLog) BytesSent(stage string) int {
+	return l.sum(DirSend, stage, func(e LogEntry) int { return e.Bytes })
+}
+
+// MsgsReceived counts received messages, optionally filtered by stage.
+func (l *MsgLog) MsgsReceived(stage string) int {
+	return l.sum(DirRecv, stage, func(LogEntry) int { return 1 })
+}
+
+// MsgsSent counts sent messages, optionally filtered by stage.
+func (l *MsgLog) MsgsSent(stage string) int {
+	return l.sum(DirSend, stage, func(LogEntry) int { return 1 })
+}
+
+// Stages returns the distinct stage labels in first-appearance order.
+func (l *MsgLog) Stages() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range l.Entries {
+		if !seen[e.Stage] {
+			seen[e.Stage] = true
+			out = append(out, e.Stage)
+		}
+	}
+	return out
+}
+
+func (l *MsgLog) sum(dir Dir, stage string, f func(LogEntry) int) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range l.Entries {
+		if e.Dir == dir && (stage == "" || e.Stage == stage) {
+			n += f(e)
+		}
+	}
+	return n
+}

@@ -1,0 +1,47 @@
+package mp
+
+import "testing"
+
+func TestLogAccessors(t *testing.T) {
+	l := &MsgLog{}
+	l.record(DirSend, 1, 0, 100, "a")
+	l.record(DirRecv, 2, 0, 40, "a")
+	l.record(DirSend, 1, 1, 60, "b")
+	if l.MsgsSent("") != 2 || l.MsgsSent("a") != 1 {
+		t.Errorf("MsgsSent = %d/%d", l.MsgsSent(""), l.MsgsSent("a"))
+	}
+	if l.MsgsReceived("") != 1 {
+		t.Errorf("MsgsReceived = %d", l.MsgsReceived(""))
+	}
+	if l.BytesSent("b") != 60 {
+		t.Errorf("BytesSent(b) = %d", l.BytesSent("b"))
+	}
+	l.Reset()
+	if len(l.Entries) != 0 || l.BytesReceived("") != 0 {
+		t.Error("Reset must drop entries")
+	}
+	// Nil logs are inert.
+	var nilLog *MsgLog
+	nilLog.record(DirSend, 0, 0, 1, "")
+	nilLog.Reset()
+	if nilLog.BytesSent("") != 0 {
+		t.Error("nil log must sum to zero")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if DirSend.String() != "send" || DirRecv.String() != "recv" {
+		t.Error("Dir strings wrong")
+	}
+}
+
+func TestLogInternalSuppression(t *testing.T) {
+	l := &MsgLog{}
+	l.beginInternal()
+	l.record(DirSend, 0, 0, 100, "")
+	l.endInternal()
+	l.record(DirSend, 0, 0, 7, "")
+	if l.BytesSent("") != 7 {
+		t.Errorf("internal traffic leaked into the log: %d", l.BytesSent(""))
+	}
+}

@@ -1,0 +1,489 @@
+package mp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testOpts() Options { return Options{RecvTimeout: 10 * time.Second} }
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, testOpts(), func(c Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []byte("hello"))
+		}
+		msg, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(msg) != "hello" {
+			return fmt.Errorf("got %q", msg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	err := Run(2, testOpts(), func(c Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("original")
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			copy(buf, "CLOBBER!") // sender reuses its buffer immediately
+			return c.Barrier()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		msg, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if string(msg) != "original" {
+			return fmt.Errorf("message aliased sender buffer: %q", msg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerChannel(t *testing.T) {
+	const n = 100
+	err := Run(2, testOpts(), func(c Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			msg, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if len(msg) != 1 || msg[0] != byte(i) {
+				return fmt.Errorf("message %d out of order: %v", i, msg)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsSeparateChannels(t *testing.T) {
+	err := Run(2, testOpts(), func(c Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []byte("tag1")); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []byte("tag2"))
+		}
+		// Receive in the opposite order of sending.
+		m2, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		m1, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(m1) != "tag1" || string(m2) != "tag2" {
+			return fmt.Errorf("tag mixup: %q %q", m1, m2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvPairwiseExchange(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		err := Run(p, testOpts(), func(c Comm) error {
+			peer := c.Rank() ^ 1
+			out := []byte(fmt.Sprintf("from %d", c.Rank()))
+			in, err := c.Sendrecv(peer, 5, out)
+			if err != nil {
+				return err
+			}
+			want := fmt.Sprintf("from %d", peer)
+			if string(in) != want {
+				return fmt.Errorf("got %q want %q", in, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+	}
+}
+
+func TestRecvTimeoutDetectsDeadlock(t *testing.T) {
+	start := time.Now()
+	err := Run(2, Options{RecvTimeout: 100 * time.Millisecond}, func(c Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Recv(1, 9) // never sent
+			return err
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("timeout took far too long")
+	}
+}
+
+func TestInvalidPeerAndTag(t *testing.T) {
+	err := Run(2, testOpts(), func(c Comm) error {
+		if err := c.Send(5, 0, nil); err == nil {
+			return errors.New("send to invalid rank must fail")
+		}
+		if err := c.Send(0, -1, nil); err == nil {
+			return errors.New("negative tag must fail")
+		}
+		if err := c.Send(0, TagLimit, nil); err == nil {
+			return errors.New("tag at limit must fail")
+		}
+		if _, err := c.Recv(-1, 0); err == nil {
+			return errors.New("recv from invalid rank must fail")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 16} {
+		var before, after atomic.Int32
+		err := Run(p, testOpts(), func(c Comm) error {
+			before.Add(1)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if got := before.Load(); got != int32(p) {
+				return fmt.Errorf("rank %d passed barrier with only %d/%d arrived", c.Rank(), got, p)
+			}
+			after.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if after.Load() != int32(p) {
+			t.Fatalf("P=%d: %d ranks passed", p, after.Load())
+		}
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for root := 0; root < p; root++ {
+			payload := []byte(fmt.Sprintf("root=%d data", root))
+			err := Run(p, testOpts(), func(c Comm) error {
+				var in []byte
+				if c.Rank() == root {
+					in = payload
+				}
+				out, err := c.Bcast(root, in)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(out, payload) {
+					return fmt.Errorf("rank %d got %q", c.Rank(), out)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("P=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestGatherOrdersByRank(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		for root := 0; root < p; root += 3 {
+			err := Run(p, testOpts(), func(c Comm) error {
+				payload := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+				got, err := c.Gather(root, payload)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != root {
+					if got != nil {
+						return errors.New("non-root must receive nil")
+					}
+					return nil
+				}
+				for r := 0; r < p; r++ {
+					want := []byte{byte(r), byte(r * 2)}
+					if !bytes.Equal(got[r], want) {
+						return fmt.Errorf("slot %d = %v, want %v", r, got[r], want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("P=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	const p = 6
+	root := 2
+	err := Run(p, testOpts(), func(c Comm) error {
+		var in [][]byte
+		if c.Rank() == root {
+			in = make([][]byte, p)
+			for i := range in {
+				in[i] = []byte{byte(i * 10)}
+			}
+		}
+		out, err := c.Scatter(root, in)
+		if err != nil {
+			return err
+		}
+		if len(out) != 1 || out[0] != byte(c.Rank()*10) {
+			return fmt.Errorf("rank %d got %v", c.Rank(), out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	cases := []struct {
+		op   ReduceOp
+		want func(p int) float64
+	}{
+		{OpSum, func(p int) float64 { return float64(p*(p-1)) / 2 }},
+		{OpMax, func(p int) float64 { return float64(p - 1) }},
+		{OpMin, func(p int) float64 { return 0 }},
+	}
+	for _, p := range []int{1, 2, 3, 8, 13} {
+		for _, tc := range cases {
+			err := Run(p, testOpts(), func(c Comm) error {
+				got, err := c.Reduce(0, float64(c.Rank()), tc.op)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 && got != tc.want(p) {
+					return fmt.Errorf("%v over %d ranks = %v, want %v", tc.op, p, got, tc.want(p))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("P=%d op=%v: %v", p, tc.op, err)
+			}
+		}
+	}
+}
+
+func TestAllReduceEverywhere(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 16} {
+		err := Run(p, testOpts(), func(c Comm) error {
+			got, err := c.AllReduce(float64(c.Rank()+1), OpMax)
+			if err != nil {
+				return err
+			}
+			if got != float64(p) {
+				return fmt.Errorf("rank %d got %v, want %v", c.Rank(), got, float64(p))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+	}
+}
+
+func TestRunCollect(t *testing.T) {
+	vals, err := RunCollect(4, testOpts(), func(c Comm) (int, error) {
+		return c.Rank() * c.Rank(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range vals {
+		if v != r*r {
+			t.Errorf("slot %d = %d", r, v)
+		}
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("rank failure")
+	err := Run(3, testOpts(), func(c Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRepanicsOnRankPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected re-panic from rank panic")
+		}
+	}()
+	_ = Run(3, testOpts(), func(c Comm) error {
+		if c.Rank() == 2 {
+			panic("boom")
+		}
+		// Other ranks block; the panicking rank must release them.
+		_, err := c.Recv((c.Rank()+1)%3, 0)
+		return err
+	})
+}
+
+func TestMessageLogCountsAlgorithmTrafficOnly(t *testing.T) {
+	logsBytes := make([]int, 2)
+	logsMsgs := make([]int, 2)
+	err := Run(2, testOpts(), func(c Comm) error {
+		c.SetStage("stage1")
+		if _, err := c.Sendrecv(c.Rank()^1, 0, make([]byte, 100)); err != nil {
+			return err
+		}
+		// Collectives must not pollute the log.
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if _, err := c.AllReduce(1, OpSum); err != nil {
+			return err
+		}
+		c.SetStage("stage2")
+		if _, err := c.Sendrecv(c.Rank()^1, 0, make([]byte, 40)); err != nil {
+			return err
+		}
+		logsBytes[c.Rank()] = c.Log().BytesReceived("")
+		logsMsgs[c.Rank()] = c.Log().MsgsReceived("")
+		if got := c.Log().BytesReceived("stage2"); got != 40 {
+			return fmt.Errorf("stage2 bytes = %d, want 40", got)
+		}
+		if got := c.Log().BytesSent("stage1"); got != 100 {
+			return fmt.Errorf("stage1 sent = %d, want 100", got)
+		}
+		stages := c.Log().Stages()
+		if len(stages) != 2 || stages[0] != "stage1" || stages[1] != "stage2" {
+			return fmt.Errorf("stages = %v", stages)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if logsBytes[r] != 140 {
+			t.Errorf("rank %d logged %d bytes, want 140", r, logsBytes[r])
+		}
+		if logsMsgs[r] != 2 {
+			t.Errorf("rank %d logged %d msgs, want 2", r, logsMsgs[r])
+		}
+	}
+}
+
+// Conservation: across all ranks, bytes sent equals bytes received when
+// every message is consumed.
+func TestLogConservationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const p = 8
+	// Precompute a random traffic matrix.
+	var plan [p][p]int
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				plan[i][j] = r.Intn(500)
+			}
+		}
+	}
+	sent := make([]int, p)
+	recvd := make([]int, p)
+	err := Run(p, testOpts(), func(c Comm) error {
+		me := c.Rank()
+		for dst := 0; dst < p; dst++ {
+			if dst == me {
+				continue
+			}
+			if err := c.Send(dst, 1, make([]byte, plan[me][dst])); err != nil {
+				return err
+			}
+		}
+		for src := 0; src < p; src++ {
+			if src == me {
+				continue
+			}
+			msg, err := c.Recv(src, 1)
+			if err != nil {
+				return err
+			}
+			if len(msg) != plan[src][me] {
+				return fmt.Errorf("from %d: %d bytes, want %d", src, len(msg), plan[src][me])
+			}
+		}
+		sent[me] = c.Log().BytesSent("")
+		recvd[me] = c.Log().BytesReceived("")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalSent, totalRecvd := 0, 0
+	for i := 0; i < p; i++ {
+		totalSent += sent[i]
+		totalRecvd += recvd[i]
+	}
+	if totalSent != totalRecvd {
+		t.Errorf("sent %d != received %d", totalSent, totalRecvd)
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	if _, err := NewWorld(0, Options{}); err == nil {
+		t.Error("zero-size world must fail")
+	}
+	if _, err := NewWorld(-3, Options{}); err == nil {
+		t.Error("negative world must fail")
+	}
+	w, err := NewWorld(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Comm(2); err == nil {
+		t.Error("out-of-range comm must fail")
+	}
+}
+
+func TestReduceOpString(t *testing.T) {
+	for _, op := range []ReduceOp{OpSum, OpMax, OpMin} {
+		if op.String() == "" {
+			t.Error("empty op name")
+		}
+	}
+}

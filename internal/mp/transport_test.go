@@ -1,0 +1,102 @@
+package mp
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFromTransportValidation(t *testing.T) {
+	w, err := NewWorld(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &chanTransport{world: w, rank: 0}
+	if _, err := FromTransport(0, 0, tr, Options{}); err == nil {
+		t.Error("zero size must be rejected")
+	}
+	if _, err := FromTransport(2, 2, tr, Options{}); err == nil {
+		t.Error("out-of-range rank must be rejected")
+	}
+	if _, err := FromTransport(-1, 2, tr, Options{}); err == nil {
+		t.Error("negative rank must be rejected")
+	}
+	c, err := FromTransport(0, 2, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rank() != 0 || c.Size() != 2 {
+		t.Error("echo wrong")
+	}
+}
+
+func TestMailboxFailSource(t *testing.T) {
+	b := NewMailbox()
+	b.Put(1, 0, []byte("queued before failure"))
+	b.FailSource(1)
+	// Already-delivered messages stay readable.
+	msg, err := b.Get(1, 0, time.Second)
+	if err != nil || string(msg) != "queued before failure" {
+		t.Fatalf("drain after FailSource: %v %q", err, msg)
+	}
+	// Further blocking gets fail fast.
+	start := time.Now()
+	if _, err := b.Get(1, 0, 10*time.Second); err == nil {
+		t.Error("get from failed source must error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("failure must be prompt, not a timeout")
+	}
+	// Other sources are unaffected.
+	b.Put(2, 0, []byte("ok"))
+	if msg, err := b.Get(2, 0, time.Second); err != nil || string(msg) != "ok" {
+		t.Errorf("other source affected: %v %q", err, msg)
+	}
+}
+
+func TestMailboxCloseDrains(t *testing.T) {
+	b := NewMailbox()
+	b.Put(0, 7, []byte("x"))
+	b.Close()
+	if msg, err := b.Get(0, 7, time.Second); err != nil || string(msg) != "x" {
+		t.Fatalf("close must not drop queued messages: %v %q", err, msg)
+	}
+	if _, err := b.Get(0, 7, time.Second); err == nil {
+		t.Error("get on closed empty mailbox must fail")
+	}
+}
+
+func TestMailboxGetTimesOut(t *testing.T) {
+	b := NewMailbox()
+	start := time.Now()
+	_, err := b.Get(0, 0, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if e := time.Since(start); e > 3*time.Second {
+		t.Errorf("timeout took %v", e)
+	}
+}
+
+func TestMailboxConcurrentProducers(t *testing.T) {
+	b := NewMailbox()
+	const msgs = 200
+	for src := 0; src < 4; src++ {
+		go func(src int) {
+			for i := 0; i < msgs; i++ {
+				b.Put(src, 0, []byte{byte(src), byte(i)})
+			}
+		}(src)
+	}
+	for src := 0; src < 4; src++ {
+		for i := 0; i < msgs; i++ {
+			msg, err := b.Get(src, 0, 10*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg[0] != byte(src) || msg[1] != byte(i) {
+				t.Fatalf("src %d message %d out of order: %v", src, i, msg)
+			}
+		}
+	}
+}

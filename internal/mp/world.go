@@ -1,0 +1,224 @@
+package mp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// World is the in-process transport: P ranks running as goroutines,
+// communicating only through copied message payloads.
+type World struct {
+	size  int
+	opts  Options
+	boxes []*Mailbox
+}
+
+func errSize(p int) error {
+	return fmt.Errorf("mp: world size %d must be positive", p)
+}
+
+// NewWorld creates a world of p ranks.
+func NewWorld(p int, opts Options) (*World, error) {
+	if p <= 0 {
+		return nil, errSize(p)
+	}
+	w := &World{size: p, opts: opts, boxes: make([]*Mailbox, p)}
+	for i := range w.boxes {
+		w.boxes[i] = NewMailbox()
+	}
+	return w, nil
+}
+
+// Comm returns rank r's endpoint. Each endpoint must be used by a single
+// goroutine.
+func (w *World) Comm(r int) (Comm, error) {
+	return FromTransport(r, w.size, w.Transport(r), w.opts)
+}
+
+// Transport returns rank r's raw transport, for callers that wrap it
+// (e.g. fault-injection tests) before building a Comm with
+// FromTransport.
+func (w *World) Transport(r int) Transport {
+	return &chanTransport{world: w, rank: r}
+}
+
+// chanTransport is the in-process Transport: Send drops a copied payload
+// into the receiver's mailbox.
+type chanTransport struct {
+	world *World
+	rank  int
+}
+
+// Send implements Transport.
+func (t *chanTransport) Send(to, tag int, payload []byte) error {
+	t.world.boxes[to].Put(t.rank, tag, payload)
+	return nil
+}
+
+// Recv implements Transport.
+func (t *chanTransport) Recv(from, tag int, timeout time.Duration) ([]byte, error) {
+	return t.world.boxes[t.rank].Get(from, tag, timeout)
+}
+
+// Run spawns fn on every rank of a fresh world and waits for all ranks to
+// finish. It returns the first non-nil error (by rank order). Panics in a
+// rank are re-panicked in the caller after all other ranks are released,
+// so a crashing test fails loudly instead of deadlocking.
+func Run(p int, opts Options, fn func(c Comm) error) error {
+	w, err := NewWorld(p, opts)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, p)
+	panics := make([]any, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		c, err := w.Comm(r)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(r int, c Comm) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panics[r] = v
+					w.closeAll() // release ranks blocked in Recv
+				}
+			}()
+			errs[r] = fn(c)
+		}(r, c)
+	}
+	wg.Wait()
+	for r, v := range panics {
+		if v != nil {
+			panic(fmt.Sprintf("mp: rank %d panicked: %v", r, v))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunCollect is Run plus a per-rank result slot: fn's return value for
+// rank r lands in the returned slice at index r.
+func RunCollect[T any](p int, opts Options, fn func(c Comm) (T, error)) ([]T, error) {
+	out := make([]T, p)
+	err := Run(p, opts, func(c Comm) error {
+		v, err := fn(c)
+		out[c.Rank()] = v
+		return err
+	})
+	return out, err
+}
+
+func (w *World) closeAll() {
+	for _, b := range w.boxes {
+		b.Close()
+	}
+}
+
+type msgKey struct {
+	src, tag int
+}
+
+// Mailbox is a rank's incoming-message store: FIFO queues keyed by
+// (source, tag). It is exported so alternative transports (e.g. the TCP
+// transport in internal/mpnet) can reuse the matching semantics.
+type Mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[msgKey][][]byte
+	closed  bool
+	deadSrc map[int]bool
+}
+
+// NewMailbox returns an empty mailbox.
+func NewMailbox() *Mailbox {
+	b := &Mailbox{queues: make(map[msgKey][][]byte), deadSrc: make(map[int]bool)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// FailSource marks one sender as gone: already-delivered messages remain
+// readable, but a Get that would otherwise block on that source fails
+// immediately. Transports call this when a peer connection drops so a
+// receiver does not hang for the full timeout.
+func (b *Mailbox) FailSource(src int) {
+	b.mu.Lock()
+	b.deadSrc[src] = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Put copies payload and enqueues it on the (src, tag) channel.
+func (b *Mailbox) Put(src, tag int, payload []byte) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	b.mu.Lock()
+	k := msgKey{src, tag}
+	b.queues[k] = append(b.queues[k], cp)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Get dequeues the next (src, tag) message, blocking up to timeout
+// (zero: forever). It fails once the mailbox is closed and drained.
+func (b *Mailbox) Get(src, tag int, timeout time.Duration) ([]byte, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// Wake sleepers periodically so the deadline is observed even
+		// without traffic.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(timeout / 10)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					b.cond.Broadcast()
+				}
+			}
+		}()
+	}
+	k := msgKey{src, tag}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if q := b.queues[k]; len(q) > 0 {
+			msg := q[0]
+			if len(q) == 1 {
+				delete(b.queues, k)
+			} else {
+				b.queues[k] = q[1:]
+			}
+			return msg, nil
+		}
+		if b.closed {
+			return nil, fmt.Errorf("mp: world closed while waiting for (src=%d, tag=%d)", src, tag)
+		}
+		if b.deadSrc[src] {
+			return nil, fmt.Errorf("mp: peer %d disconnected while waiting for tag %d", src, tag)
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return nil, fmt.Errorf("%w: rank waiting for (src=%d, tag=%d)", ErrTimeout, src, tag)
+		}
+		b.cond.Wait()
+	}
+}
+
+// Close wakes all waiters; subsequent Gets on empty channels fail.
+func (b *Mailbox) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

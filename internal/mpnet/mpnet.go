@@ -1,0 +1,292 @@
+// Package mpnet is the TCP transport of the message-passing runtime: the
+// same Comm semantics as the in-process world, but across OS processes
+// and machines, so the sort-last pipeline can run as an actual
+// distributed program (one process per rank, as the paper's SP2 jobs
+// did).
+//
+// Bootstrap is static, MPI-hostfile style: every rank knows the full
+// address list. Rank r listens on Addrs[r]; connections are established
+// once at startup (higher ranks dial lower ranks) and carry
+// length-prefixed frames: src and tag identify the channel, and per-pair
+// FIFO order is inherited from TCP.
+package mpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sortlast/internal/mp"
+)
+
+// Config describes one rank of a TCP world.
+type Config struct {
+	Rank  int
+	Addrs []string // one listen address per rank
+
+	// Listener optionally supplies a pre-bound listener for Addrs[Rank]
+	// (useful for tests binding port 0).
+	Listener net.Listener
+
+	// DialTimeout bounds connection establishment per peer, retries
+	// included; zero means 30 seconds.
+	DialTimeout time.Duration
+
+	// Opts configure the Comm built on top of the transport.
+	Opts mp.Options
+}
+
+func (c Config) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.DialTimeout
+}
+
+// Node is one rank's endpoint of a TCP world.
+type Node struct {
+	comm     mp.Comm
+	tr       *tcpTransport
+	listener net.Listener
+}
+
+// Comm returns the rank's communicator.
+func (n *Node) Comm() mp.Comm { return n.comm }
+
+// Close tears down all connections and the listener. Blocked receives
+// fail promptly. Call only when the program is quiesced — a Barrier
+// before Close (MPI_Finalize-style) guarantees no peer still expects
+// traffic from this rank beyond what is already in flight.
+func (n *Node) Close() error {
+	n.tr.close()
+	if n.listener != nil {
+		n.listener.Close()
+	}
+	return nil
+}
+
+const handshakeMagic = 0x534C4350 // "SLCP"
+
+// Connect establishes the full mesh for this rank and returns its node.
+// All ranks must call Connect concurrently; it returns once every peer
+// connection is up.
+func Connect(cfg Config) (*Node, error) {
+	size := len(cfg.Addrs)
+	if size <= 0 {
+		return nil, fmt.Errorf("mpnet: empty address list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= size {
+		return nil, fmt.Errorf("mpnet: rank %d out of range [0,%d)", cfg.Rank, size)
+	}
+	tr := &tcpTransport{
+		rank:  cfg.Rank,
+		size:  size,
+		conns: make([]*peerConn, size),
+		box:   mp.NewMailbox(),
+	}
+
+	ln := cfg.Listener
+	if ln == nil && size > 1 {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("mpnet: rank %d listen: %w", cfg.Rank, err)
+		}
+	}
+
+	// Accept connections from higher ranks while dialing lower ranks.
+	var wg sync.WaitGroup
+	var acceptErr error
+	expect := size - 1 - cfg.Rank
+	if expect > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < expect; i++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					acceptErr = fmt.Errorf("mpnet: rank %d accept: %w", cfg.Rank, err)
+					return
+				}
+				peer, err := readHandshake(conn)
+				if err != nil {
+					conn.Close()
+					acceptErr = err
+					return
+				}
+				if peer <= cfg.Rank || peer >= size || tr.conns[peer] != nil {
+					conn.Close()
+					acceptErr = fmt.Errorf("mpnet: rank %d: bad handshake from rank %d", cfg.Rank, peer)
+					return
+				}
+				tr.conns[peer] = newPeerConn(conn)
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(cfg.dialTimeout())
+	for peer := 0; peer < cfg.Rank; peer++ {
+		conn, err := dialRetry(cfg.Addrs[peer], deadline)
+		if err != nil {
+			tr.close()
+			return nil, fmt.Errorf("mpnet: rank %d dial rank %d: %w", cfg.Rank, peer, err)
+		}
+		if err := writeHandshake(conn, cfg.Rank); err != nil {
+			conn.Close()
+			tr.close()
+			return nil, err
+		}
+		tr.conns[peer] = newPeerConn(conn)
+	}
+	wg.Wait()
+	if acceptErr != nil {
+		tr.close()
+		return nil, acceptErr
+	}
+
+	// Start a demux reader per peer.
+	for peer, pc := range tr.conns {
+		if pc != nil {
+			go tr.readLoop(peer, pc)
+		}
+	}
+
+	comm, err := mp.FromTransport(cfg.Rank, size, tr, cfg.Opts)
+	if err != nil {
+		tr.close()
+		return nil, err
+	}
+	return &Node{comm: comm, tr: tr, listener: ln}, nil
+}
+
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("timeout")
+			}
+			return nil, lastErr
+		}
+		conn, err := net.DialTimeout("tcp", addr, remaining)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		// The peer's listener may not be up yet; back off briefly.
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func writeHandshake(conn net.Conn, rank int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:4], handshakeMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(rank))
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+func readHandshake(conn net.Conn) (int, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return 0, fmt.Errorf("mpnet: handshake read: %w", err)
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != handshakeMagic {
+		return 0, fmt.Errorf("mpnet: bad handshake magic")
+	}
+	return int(binary.LittleEndian.Uint32(buf[4:8])), nil
+}
+
+// tcpTransport implements mp.Transport over a connection mesh.
+type tcpTransport struct {
+	rank  int
+	size  int
+	conns []*peerConn
+	box   *mp.Mailbox
+
+	closeOnce sync.Once
+}
+
+// peerConn serializes frame writes on one connection.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func newPeerConn(c net.Conn) *peerConn { return &peerConn{conn: c} }
+
+// maxFrame bounds a frame payload; generous for 768x768 full-frame
+// pixel transfers (9.4 MB) with room to spare.
+const maxFrame = 1 << 28
+
+// Send implements mp.Transport: frames are [tag u32][len u32][payload].
+func (t *tcpTransport) Send(to, tag int, payload []byte) error {
+	if to == t.rank {
+		t.box.Put(t.rank, tag, payload)
+		return nil
+	}
+	pc := t.conns[to]
+	if pc == nil {
+		return fmt.Errorf("mpnet: no connection to rank %d", to)
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("mpnet: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(tag))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, err := pc.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("mpnet: send to %d: %w", to, err)
+	}
+	if _, err := pc.conn.Write(payload); err != nil {
+		return fmt.Errorf("mpnet: send to %d: %w", to, err)
+	}
+	return nil
+}
+
+// Recv implements mp.Transport.
+func (t *tcpTransport) Recv(from, tag int, timeout time.Duration) ([]byte, error) {
+	return t.box.Get(from, tag, timeout)
+}
+
+func (t *tcpTransport) readLoop(peer int, pc *peerConn) {
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(pc.conn, hdr[:]); err != nil {
+			// Peer gone (or local close): already-delivered messages
+			// stay readable, but receives that would block on this peer
+			// fail promptly instead of timing out.
+			t.box.FailSource(peer)
+			return
+		}
+		tag := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxFrame {
+			t.box.FailSource(peer)
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(pc.conn, payload); err != nil {
+			t.box.FailSource(peer)
+			return
+		}
+		t.box.Put(peer, tag, payload)
+	}
+}
+
+func (t *tcpTransport) close() {
+	t.closeOnce.Do(func() {
+		for _, pc := range t.conns {
+			if pc != nil {
+				pc.conn.Close()
+			}
+		}
+		t.box.Close()
+	})
+}

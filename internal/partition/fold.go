@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sortlast/internal/volume"
+)
+
+// FoldPlan extends the binary-swap family to arbitrary rank counts — the
+// extension the paper's §5 lists as future work ("the number of
+// processors must be a power of two").
+//
+// The largest power of two Core ≤ P ranks form the swap core. For each
+// extra rank e = Core+i (i < P-Core), core rank i's subvolume is split
+// once more along its largest axis: core rank i keeps the low half and
+// rank e renders the high half. Before the first swap stage, each extra
+// rank sends its whole subimage to its core partner (the fold), which
+// composites it in depth order; the core then runs the standard
+// power-of-two schedule. The fold merges the deepest split in the tree,
+// so performing it first preserves compositing order.
+type FoldPlan struct {
+	P    int // total ranks
+	Core int // power-of-two swap core size
+	Dec  *Decomposition
+
+	coreBoxes  []volume.Box // adjusted boxes of core ranks
+	extraBoxes []volume.Box // boxes of ranks Core..P-1
+	foldAxes   []int        // split axis of fold i
+}
+
+// PlanFold builds a fold plan for any p >= 1. For a power-of-two p the
+// plan degenerates to the plain decomposition with no folds.
+func PlanFold(root volume.Box, p int) (*FoldPlan, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: rank count %d must be positive", p)
+	}
+	core := 1 << (bits.Len(uint(p)) - 1) // largest power of two <= p
+	dec, err := Decompose(root, core)
+	if err != nil {
+		return nil, err
+	}
+	f := &FoldPlan{P: p, Core: core, Dec: dec}
+	f.coreBoxes = append(f.coreBoxes, dec.Boxes...)
+	extra := p - core
+	for i := 0; i < extra; i++ {
+		b := f.coreBoxes[i]
+		axis := b.LargestAxis()
+		if b.Extent(axis) < 2 {
+			return nil, fmt.Errorf("partition: core box %v too thin to fold", b)
+		}
+		mid := b.Lo[axis] + b.Extent(axis)/2
+		lo, hi := b.Split(axis, mid)
+		f.coreBoxes[i] = lo
+		f.extraBoxes = append(f.extraBoxes, hi)
+		f.foldAxes = append(f.foldAxes, axis)
+	}
+	return f, nil
+}
+
+// Size returns the total rank count P.
+func (f *FoldPlan) Size() int { return f.P }
+
+// Extras returns the number of folded ranks.
+func (f *FoldPlan) Extras() int { return f.P - f.Core }
+
+// Box returns rank r's subvolume under the plan.
+func (f *FoldPlan) Box(r int) volume.Box {
+	if r < f.Core {
+		return f.coreBoxes[r]
+	}
+	return f.extraBoxes[r-f.Core]
+}
+
+// IsExtra reports whether rank r folds out before the swap stages.
+func (f *FoldPlan) IsExtra(r int) bool { return r >= f.Core }
+
+// FoldPartner returns the pairing of the fold pre-stage: for an extra
+// rank, the core rank it sends to; for a core rank with a fold, the extra
+// rank it receives from; and -1 for core ranks without a fold.
+func (f *FoldPlan) FoldPartner(r int) int {
+	if r >= f.Core {
+		return r - f.Core
+	}
+	if r < f.Extras() {
+		return f.Core + r
+	}
+	return -1
+}
+
+// ExtraInFront reports whether extra rank Core+i's subimage is in front
+// of its core partner's for the given view direction. The extra box is
+// the high side of the fold split.
+func (f *FoldPlan) ExtraInFront(i int, viewDir [3]float64) bool {
+	return viewDir[f.foldAxes[i]] < 0
+}
+
+// DepthOrder returns all P ranks front-to-back: the core depth order with
+// each folded rank inserted adjacent to its partner on the correct side.
+func (f *FoldPlan) DepthOrder(viewDir [3]float64) []int {
+	coreOrder := f.Dec.DepthOrder(viewDir)
+	out := make([]int, 0, f.P)
+	for _, r := range coreOrder {
+		e := f.FoldPartner(r)
+		if e < f.Core { // no fold on this core rank
+			out = append(out, r)
+			continue
+		}
+		if f.ExtraInFront(r, viewDir) {
+			out = append(out, e, r)
+		} else {
+			out = append(out, r, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sortlast/internal/volume"
+)
+
+// The paper's §5 lists "an efficient load-balancing scheme in the
+// rendering phase" as future work: with uneven opaque-voxel
+// distributions, equal-volume subvolumes give very unequal rendering
+// work. DecomposeWeighted splits each kd node at the work median instead
+// of the spatial midpoint, keeping every invariant the compositing
+// machinery relies on (one split axis per level, side 0 = lower
+// coordinates, separating planes between subtrees) while equalizing the
+// estimated per-rank rendering cost.
+
+// WorkEstimator estimates rendering work inside a box, resolved to unit
+// slices along an axis so the decomposition can binary-search cut
+// positions. volume.VoxelWork is the standard implementation.
+type WorkEstimator interface {
+	// SliceWeights returns, for each slice s in [b.Lo[axis], b.Hi[axis]),
+	// the estimated work of b restricted to that slice.
+	SliceWeights(b volume.Box, axis int) []uint64
+}
+
+// DecomposeWeighted builds a kd decomposition for a power-of-two p whose
+// nodes split at the estimated-work median. The split axis is chosen per
+// level (the expected remaining extent, as in Decompose), so stage
+// pairing and front-to-back ordering work exactly as for the uniform
+// decomposition.
+func DecomposeWeighted(root volume.Box, p int, est WorkEstimator) (*Decomposition, error) {
+	if p <= 0 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("partition: rank count %d is not a positive power of two", p)
+	}
+	if root.Empty() {
+		return nil, fmt.Errorf("partition: empty root box %v", root)
+	}
+	if est == nil {
+		return Decompose(root, p)
+	}
+	depth := bits.TrailingZeros(uint(p))
+	d := &Decomposition{
+		Root:  root,
+		Depth: depth,
+		Axes:  make([]int, depth),
+		Boxes: []volume.Box{root},
+	}
+	// Expected per-axis extent after the splits so far; halved on the
+	// level's axis each time, mirroring the uniform decomposition's
+	// axis-selection behavior independent of the actual cut positions.
+	extent := [3]int{root.Dx(), root.Dy(), root.Dz()}
+	for l := 0; l < depth; l++ {
+		axis := 0
+		for a := 1; a < 3; a++ {
+			if extent[a] > extent[axis] {
+				axis = a
+			}
+		}
+		if extent[axis] < 2 {
+			return nil, fmt.Errorf("partition: volume too thin to split %d more times", depth-l)
+		}
+		d.Axes[l] = axis
+		extent[axis] /= 2
+		next := make([]volume.Box, 0, len(d.Boxes)*2)
+		for _, b := range d.Boxes {
+			pos, err := medianCut(b, axis, est)
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := b.Split(axis, pos)
+			next = append(next, lo, hi)
+		}
+		d.Boxes = next
+	}
+	return d, nil
+}
+
+// medianCut finds the slice boundary along axis that best halves the
+// estimated work of b, constrained to leave at least one slice on each
+// side.
+func medianCut(b volume.Box, axis int, est WorkEstimator) (int, error) {
+	if b.Extent(axis) < 2 {
+		return 0, fmt.Errorf("partition: box %v too thin along axis %d", b, axis)
+	}
+	weights := est.SliceWeights(b, axis)
+	if len(weights) != b.Extent(axis) {
+		return 0, fmt.Errorf("partition: estimator returned %d weights for extent %d",
+			len(weights), b.Extent(axis))
+	}
+	var total uint64
+	for _, w := range weights {
+		total += w
+	}
+	// Walk the prefix sum; choose the boundary whose halves differ least.
+	bestPos, bestDiff := b.Lo[axis]+1, uint64(1)<<63
+	var prefix uint64
+	for i := 0; i < len(weights)-1; i++ {
+		prefix += weights[i]
+		var diff uint64
+		if 2*prefix > total {
+			diff = 2*prefix - total
+		} else {
+			diff = total - 2*prefix
+		}
+		if diff < bestDiff {
+			bestDiff = diff
+			bestPos = b.Lo[axis] + i + 1
+		}
+	}
+	return bestPos, nil
+}

@@ -1,0 +1,146 @@
+package partition
+
+import (
+	"testing"
+
+	"sortlast/internal/volume"
+)
+
+// skewedVolume puts nearly all work in one octant.
+func skewedVolume() *volume.Volume {
+	v := volume.New(64, 64, 32)
+	v.Fill(volume.Box{Lo: [3]int{0, 0, 0}, Hi: [3]int{16, 16, 8}}, 200)
+	return v
+}
+
+func TestDecomposeWeightedStillPartitions(t *testing.T) {
+	v := skewedVolume()
+	est := volume.VoxelWork{Vol: v, Threshold: 10}
+	for _, p := range []int{2, 4, 8, 16} {
+		d, err := DecomposeWeighted(v.Bounds(), p, est)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		total := 0
+		for _, b := range d.Boxes {
+			total += b.Volume()
+		}
+		if total != v.Bounds().Volume() {
+			t.Errorf("P=%d: boxes cover %d voxels, want %d", p, total, v.Bounds().Volume())
+		}
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				if !d.Boxes[i].Intersect(d.Boxes[j]).Empty() {
+					t.Errorf("P=%d: boxes %d,%d overlap", p, i, j)
+				}
+			}
+		}
+		// The level machinery must be intact: siblings differ along the
+		// level axis with side 0 on the lower side.
+		for stage := 1; stage <= d.Stages(); stage++ {
+			axis := d.StageAxis(stage)
+			for r := 0; r < p; r++ {
+				pr := d.Partner(r, stage)
+				rb, pb := d.Box(r), d.Box(pr)
+				lvl := d.StageLevel(stage)
+				// Partner boxes must be strictly separated along the
+				// level axis, with side 0 entirely on the low side (they
+				// need not be adjacent: deeper cuts differ per subtree).
+				if d.Side(r, lvl) == 0 {
+					if rb.Hi[axis] > pb.Lo[axis] {
+						t.Errorf("P=%d stage %d: side-0 rank %d box %v not below partner %v on axis %d",
+							p, stage, r, rb, pb, axis)
+					}
+				} else if pb.Hi[axis] > rb.Lo[axis] {
+					t.Errorf("P=%d stage %d: side-1 rank %d box %v not above partner %v on axis %d",
+						p, stage, r, rb, pb, axis)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeWeightedBalancesWork(t *testing.T) {
+	v := skewedVolume()
+	est := volume.VoxelWork{Vol: v, Threshold: 10, Base: 1, Opaque: 50}
+	const p = 8
+
+	spread := func(d *Decomposition) float64 {
+		min, max := ^uint64(0), uint64(0)
+		for _, b := range d.Boxes {
+			w := est.BoxWork(b)
+			if w < min {
+				min = w
+			}
+			if w > max {
+				max = w
+			}
+		}
+		return float64(max-min) / float64(max)
+	}
+
+	uniform, err := Decompose(v.Bounds(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := DecomposeWeighted(v.Bounds(), p, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, sw := spread(uniform), spread(weighted)
+	if sw >= su {
+		t.Errorf("weighted spread %.3f not better than uniform %.3f", sw, su)
+	}
+	// On an extremely skewed volume the weighted split must be much
+	// tighter — within 60% while uniform leaves some ranks nearly idle.
+	if sw > 0.6 {
+		t.Errorf("weighted spread %.3f still very unbalanced", sw)
+	}
+}
+
+func TestDecomposeWeightedNilEstimatorFallsBack(t *testing.T) {
+	root := volume.Box{Hi: [3]int{32, 32, 32}}
+	d, err := DecomposeWeighted(root, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Decompose(root, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if d.Box(r) != u.Box(r) {
+			t.Errorf("rank %d: %v vs %v", r, d.Box(r), u.Box(r))
+		}
+	}
+}
+
+func TestDecomposeWeightedValidation(t *testing.T) {
+	v := skewedVolume()
+	est := volume.VoxelWork{Vol: v}
+	if _, err := DecomposeWeighted(v.Bounds(), 3, est); err == nil {
+		t.Error("non-power-of-two must be rejected")
+	}
+	if _, err := DecomposeWeighted(volume.Box{}, 2, est); err == nil {
+		t.Error("empty root must be rejected")
+	}
+	thin := volume.Box{Hi: [3]int{1, 1, 1}}
+	if _, err := DecomposeWeighted(thin, 2, est); err == nil {
+		t.Error("unsplittable box must be rejected")
+	}
+}
+
+func TestMedianCutDegenerateWeights(t *testing.T) {
+	// All-zero weights must still produce a legal cut.
+	v := volume.New(8, 8, 8) // empty volume: zero opaque work everywhere
+	est := volume.VoxelWork{Vol: v, Threshold: 0, Base: 1, Opaque: 1}
+	d, err := DecomposeWeighted(v.Bounds(), 8, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range d.Boxes {
+		if b.Empty() {
+			t.Errorf("degenerate weights produced empty box %v", b)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package render
+
+import (
+	"testing"
+
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+func BenchmarkRaycastSerial(b *testing.B) {
+	vol := volume.EngineBlock(128, 128, 55)
+	tf := transfer.EngineLow()
+	cam := NewCamera(192, 192, vol.Bounds(), 20, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Raycast(vol, vol.Bounds(), cam, tf, Options{})
+	}
+}
+
+func BenchmarkRaycastSubvolume(b *testing.B) {
+	vol := volume.EngineBlock(128, 128, 55)
+	tf := transfer.EngineLow()
+	cam := NewCamera(192, 192, vol.Bounds(), 20, 30)
+	box := volume.Box{Lo: [3]int{0, 0, 0}, Hi: [3]int{64, 64, 28}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Raycast(vol, box, cam, tf, Options{})
+	}
+}
+
+func BenchmarkRaycastShaded(b *testing.B) {
+	vol := volume.HeadPhantom(96, 96, 48)
+	tf := transfer.Head()
+	cam := NewCamera(128, 128, vol.Bounds(), 15, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Raycast(vol, vol.Bounds(), cam, tf, Options{Shaded: true})
+	}
+}
+
+func BenchmarkSplatSerial(b *testing.B) {
+	vol := volume.EngineBlock(128, 128, 55)
+	tf := transfer.EngineHigh()
+	cam := NewCamera(192, 192, vol.Bounds(), 20, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Splat(vol, vol.Bounds(), cam, tf, Options{})
+	}
+}

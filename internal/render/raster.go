@@ -1,0 +1,155 @@
+package render
+
+import (
+	"math"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/mesh"
+	"sortlast/internal/volume"
+)
+
+// RasterOptions tune surface rasterization.
+type RasterOptions struct {
+	// Light is the direction toward the light; zero means head-on.
+	Light [3]float64
+	// Ambient is the ambient shading term, default 0.25.
+	Ambient float64
+	// Flat quantizes shading to per-face values (no interpolation);
+	// surface images then contain long equal-valued runs, the regime
+	// value-based RLE was designed for (Ahrens–Painter, paper §2).
+	Flat bool
+	// Levels quantizes shading to this many gray levels when Flat is
+	// set; 0 means 32.
+	Levels int
+}
+
+func (o RasterOptions) ambient() float64 {
+	if o.Ambient == 0 {
+		return 0.25
+	}
+	return o.Ambient
+}
+
+func (o RasterOptions) levels() int {
+	if o.Levels <= 0 {
+		return 32
+	}
+	return o.Levels
+}
+
+// Rasterize renders a surface mesh with a z-buffer under the
+// orthographic camera, producing an opaque sparse subimage (alpha 1 on
+// covered pixels): the surface-rendering path of the sort-last system.
+// Depth is the ray parameter (distance along cam.Dir), so nearer
+// triangles win within the rank, and across ranks the kd split planes
+// order whole subimages exactly as for volume rendering.
+func Rasterize(m *mesh.Mesh, cam *Camera, opt RasterOptions) *frame.Image {
+	img := frame.NewImage(cam.W, cam.H)
+	if m.Len() == 0 {
+		return img
+	}
+	// Allocate the footprint window and a matching z-buffer.
+	lo, hi, _ := m.Bounds()
+	foot := cam.Footprint(boxAround(lo, hi))
+	if foot.Empty() {
+		return img
+	}
+	img.Grow(foot)
+	zbuf := make([]float64, foot.Area())
+	for i := range zbuf {
+		zbuf[i] = math.Inf(1)
+	}
+
+	light := opt.Light
+	if light == ([3]float64{}) {
+		light = [3]float64{-cam.Dir[0], -cam.Dir[1], -cam.Dir[2]}
+	}
+	light = normalize(light)
+
+	for _, tri := range m.Tris {
+		shade := shadeFace(tri.Normal, light, opt)
+		rasterTriangle(img, zbuf, foot, cam, &tri, shade)
+	}
+	return img
+}
+
+// shadeFace computes two-sided Lambertian shading for a face normal.
+func shadeFace(n, light [3]float64, opt RasterOptions) float64 {
+	nn := normalize(n)
+	d := math.Abs(nn[0]*light[0] + nn[1]*light[1] + nn[2]*light[2])
+	s := opt.ambient() + (1-opt.ambient())*d
+	if opt.Flat {
+		l := float64(opt.levels() - 1)
+		s = math.Round(s*l) / l
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+func rasterTriangle(img *frame.Image, zbuf []float64, foot frame.Rect,
+	cam *Camera, tri *mesh.Triangle, shade float64) {
+	// Project vertices to continuous pixel coordinates plus depth along
+	// the view direction.
+	var px, py, pz [3]float64
+	for i, v := range tri.V {
+		px[i], py[i] = cam.Project(v)
+		q := [3]float64{v[0] - cam.Center[0], v[1] - cam.Center[1], v[2] - cam.Center[2]}
+		pz[i] = q[0]*cam.Dir[0] + q[1]*cam.Dir[1] + q[2]*cam.Dir[2]
+	}
+	minX := int(math.Floor(min3f(px[0], px[1], px[2])))
+	maxX := int(math.Ceil(max3f(px[0], px[1], px[2])))
+	minY := int(math.Floor(min3f(py[0], py[1], py[2])))
+	maxY := int(math.Ceil(max3f(py[0], py[1], py[2])))
+	r := frame.Rect{X0: minX, Y0: minY, X1: maxX + 1, Y1: maxY + 1}.Intersect(foot)
+	if r.Empty() {
+		return
+	}
+	// Edge functions (twice the signed area).
+	area := (px[1]-px[0])*(py[2]-py[0]) - (py[1]-py[0])*(px[2]-px[0])
+	if area == 0 {
+		return
+	}
+	inv := 1 / area
+	w := foot.Dx()
+	for y := r.Y0; y < r.Y1; y++ {
+		cy := float64(y) + 0.5
+		for x := r.X0; x < r.X1; x++ {
+			cx := float64(x) + 0.5
+			// Barycentric coordinates of the pixel center.
+			w0 := ((px[1]-cx)*(py[2]-cy) - (py[1]-cy)*(px[2]-cx)) * inv
+			w1 := ((px[2]-cx)*(py[0]-cy) - (py[2]-cy)*(px[0]-cx)) * inv
+			w2 := 1 - w0 - w1
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			z := w0*pz[0] + w1*pz[1] + w2*pz[2]
+			zi := (y-foot.Y0)*w + (x - foot.X0)
+			if z >= zbuf[zi] {
+				continue
+			}
+			zbuf[zi] = z
+			img.Set(x, y, frame.Pixel{I: shade, A: 1})
+		}
+	}
+}
+
+func boxAround(lo, hi [3]float64) (b volume.Box) {
+	for a := 0; a < 3; a++ {
+		b.Lo[a] = int(math.Floor(lo[a]))
+		b.Hi[a] = int(math.Ceil(hi[a])) + 1
+	}
+	return b
+}
+
+func normalize(v [3]float64) [3]float64 {
+	n := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+	if n == 0 {
+		return v
+	}
+	return [3]float64{v[0] / n, v[1] / n, v[2] / n}
+}
+
+func min3f(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }
+func max3f(a, b, c float64) float64 { return math.Max(a, math.Max(b, c)) }

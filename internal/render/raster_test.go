@@ -1,0 +1,142 @@
+package render
+
+import (
+	"testing"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/mesh"
+	"sortlast/internal/partition"
+	"sortlast/internal/volume"
+)
+
+func sphereMesh(t *testing.T) (*volume.Volume, *mesh.Mesh) {
+	t.Helper()
+	v := volume.Sphere(32, 32, 32, 0.7, 200)
+	m := mesh.Extract(v, mesh.CellsFor(v.Bounds(), v.Bounds()), 100)
+	if m.Len() == 0 {
+		t.Fatal("empty sphere mesh")
+	}
+	return v, m
+}
+
+func TestRasterizeSphereSilhouette(t *testing.T) {
+	v, m := sphereMesh(t)
+	cam := NewCamera(64, 64, v.Bounds(), 0, 0)
+	img := Rasterize(m, cam, RasterOptions{})
+	center := img.At(32, 32)
+	if center.A != 1 {
+		t.Errorf("center pixel = %v, want opaque surface", center)
+	}
+	if center.I <= 0 || center.I > 1 {
+		t.Errorf("center shade = %v", center.I)
+	}
+	if !img.At(1, 1).Blank() {
+		t.Error("corner must be blank")
+	}
+	// The silhouette is a disc of radius ~11.2 voxels; the camera maps
+	// the 55.4-voxel diagonal onto 0.92*64 px, i.e. ~0.94 voxels per
+	// pixel, giving a ~11.9 px radius and ~445 px of area.
+	n := img.CountNonBlank(img.Full())
+	if n < 320 || n > 620 {
+		t.Errorf("silhouette covers %d pixels, want ~445", n)
+	}
+}
+
+func TestRasterizeEmptyMesh(t *testing.T) {
+	cam := NewCamera(32, 32, volume.Box{Hi: [3]int{8, 8, 8}}, 0, 0)
+	img := Rasterize(&mesh.Mesh{}, cam, RasterOptions{})
+	if img.CountNonBlank(img.Full()) != 0 {
+		t.Error("empty mesh must render blank")
+	}
+}
+
+func TestRasterizeZBufferPicksNearest(t *testing.T) {
+	// Two parallel squares; the nearer (smaller z along +z view) must
+	// win. Build triangles directly.
+	quad := func(z float64, shadeBias float64) []mesh.Triangle {
+		a := [3]float64{2, 2, z}
+		b := [3]float64{14, 2, z}
+		c := [3]float64{14, 14, z}
+		d := [3]float64{2, 14, z}
+		n := [3]float64{0, 0, 1 + shadeBias} // same direction, distinct length
+		return []mesh.Triangle{
+			{V: [3][3]float64{a, b, c}, Normal: n},
+			{V: [3][3]float64{a, c, d}, Normal: n},
+		}
+	}
+	m := &mesh.Mesh{}
+	m.Tris = append(m.Tris, quad(10, 0)...) // far
+	m.Tris = append(m.Tris, quad(4, 0)...)  // near
+	cam := NewCamera(32, 32, volume.Box{Hi: [3]int{16, 16, 16}}, 0, 0)
+	// Give the near quad a distinguishable shade via light choice: use a
+	// tilted light so both quads shade identically (same normals), then
+	// check depth by drawing order instead: overwrite far with near.
+	img := Rasterize(m, cam, RasterOptions{})
+	if img.At(16, 16).A != 1 {
+		t.Fatal("quad must cover the center")
+	}
+	// Reverse order: near first, far second — z-buffer must keep near.
+	m2 := &mesh.Mesh{}
+	m2.Tris = append(m2.Tris, quad(4, 0)...)
+	m2.Tris = append(m2.Tris, quad(10, 0)...)
+	img2 := Rasterize(m2, cam, RasterOptions{})
+	if d := img.MaxAbsDiff(img2, img.Full()); d != 0 {
+		t.Errorf("draw order changed the image by %g — z-buffer broken", d)
+	}
+}
+
+func TestFlatShadingQuantizes(t *testing.T) {
+	v, m := sphereMesh(t)
+	cam := NewCamera(64, 64, v.Bounds(), 20, 30)
+	img := Rasterize(m, cam, RasterOptions{Flat: true, Levels: 8})
+	distinct := map[float64]bool{}
+	full := img.Full()
+	for y := full.Y0; y < full.Y1; y++ {
+		for x := full.X0; x < full.X1; x++ {
+			if p := img.At(x, y); !p.Blank() {
+				distinct[p.I] = true
+			}
+		}
+	}
+	if len(distinct) == 0 || len(distinct) > 8 {
+		t.Errorf("flat shading produced %d distinct shades, want <= 8", len(distinct))
+	}
+}
+
+// The master surface property: per-rank extraction + rasterization +
+// depth-order over-compositing equals serial surface rendering. Opaque
+// alpha-1 pixels make over pick the front rank's surface, and the kd
+// planes guarantee that is the nearer one.
+func TestPartitionedSurfaceMatchesSerial(t *testing.T) {
+	vols := map[string]*volume.Volume{
+		"head":   volume.HeadPhantom(32, 32, 16),
+		"engine": volume.EngineBlock(32, 32, 16),
+	}
+	for name, v := range vols {
+		serialMesh := mesh.Extract(v, mesh.CellsFor(v.Bounds(), v.Bounds()), 150)
+		for _, rot := range [][2]float64{{0, 0}, {25, 40}} {
+			cam := NewCamera(64, 64, v.Bounds(), rot[0], rot[1])
+			serial := Rasterize(serialMesh, cam, RasterOptions{})
+			for _, p := range []int{2, 4, 8} {
+				dec, err := partition.Decompose(v.Bounds(), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				composed := frame.NewImage(64, 64)
+				for _, r := range dec.DepthOrder(cam.Dir) {
+					sub := mesh.Extract(v, mesh.CellsFor(dec.Box(r), v.Bounds()), 150)
+					img := Rasterize(sub, cam, RasterOptions{})
+					b := img.Bounds()
+					if b.Empty() {
+						continue
+					}
+					composed.CompositeRegion(b, img.PackRegion(b), false)
+				}
+				if d := serial.MaxAbsDiff(composed, serial.Full()); d > 1e-12 {
+					t.Errorf("%s rot=%v P=%d: surface differs from serial by %g",
+						name, rot, p, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package render
+
+import (
+	"math"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+// VoxelSource supplies raw voxels in global coordinates; *volume.Volume
+// and *volume.Subvolume satisfy it.
+type VoxelSource interface {
+	At(x, y, z int) uint8
+}
+
+// Splat renders box with sheet-buffered splatting (Westover), the
+// feed-forward volume renderer the paper lists as future work (§5):
+// voxels are traversed in front-to-back sheets perpendicular to the
+// dominant view axis; each voxel's classified color is distributed over
+// a bilinear 2x2 footprint into a sheet buffer, and each completed sheet
+// is over-composited onto the output.
+//
+// Splatting is an approximation: unlike the ray caster it does not sample
+// between voxels, so its output matches Raycast only in the limit of
+// small footprints. It plugs into the compositing phase unchanged —
+// compositors only see sparse subimages.
+func Splat(src VoxelSource, box volume.Box, cam *Camera, tf *transfer.Func, opt Options) *frame.Image {
+	img := frame.NewImage(cam.W, cam.H)
+	foot := cam.Footprint(box)
+	if foot.Empty() {
+		return img
+	}
+	img.Grow(foot)
+
+	// Dominant traversal axis and direction: sheets are planes of
+	// constant coordinate along the axis the view direction is most
+	// aligned with.
+	axis := 0
+	for a := 1; a < 3; a++ {
+		if math.Abs(cam.Dir[a]) > math.Abs(cam.Dir[axis]) {
+			axis = a
+		}
+	}
+	first, last, step := box.Lo[axis], box.Hi[axis]-1, 1
+	if cam.Dir[axis] < 0 {
+		first, last, step = last, first, -1
+	}
+
+	sheet := frame.NewImageBounds(cam.W, cam.H, foot)
+	var iter [3]int
+	lo, hi := box.Lo, box.Hi
+	for s := first; s != last+step; s += step {
+		sheet.Clear()
+		sheetHasContent := false
+		iter[axis] = s
+		// The two in-sheet axes.
+		a1, a2 := (axis+1)%3, (axis+2)%3
+		for i1 := lo[a1]; i1 < hi[a1]; i1++ {
+			iter[a1] = i1
+			for i2 := lo[a2]; i2 < hi[a2]; i2++ {
+				iter[a2] = i2
+				v := src.At(iter[0], iter[1], iter[2])
+				if v == 0 {
+					continue
+				}
+				op, in := tf.Classify(float64(v) / 255)
+				if op <= 0 {
+					continue
+				}
+				center := [3]float64{
+					float64(iter[0]) + 0.5, float64(iter[1]) + 0.5, float64(iter[2]) + 0.5}
+				fx, fy := cam.Project(center)
+				splatBilinear(sheet, fx, fy, op, in)
+				sheetHasContent = true
+			}
+		}
+		if !sheetHasContent {
+			continue
+		}
+		// Composite the finished sheet behind the image accumulated so
+		// far (front-to-back traversal: image is in front).
+		compositeSheet(img, sheet, foot)
+	}
+	return img
+}
+
+// splatBilinear distributes an (opacity, intensity) contribution over the
+// four pixels nearest the continuous position with bilinear weights,
+// accumulating opacity with the over rule inside the sheet.
+func splatBilinear(sheet *frame.Image, fx, fy, op, in float64) {
+	x0 := int(math.Floor(fx - 0.5))
+	y0 := int(math.Floor(fy - 0.5))
+	wx := fx - 0.5 - float64(x0)
+	wy := fy - 0.5 - float64(y0)
+	for dy := 0; dy <= 1; dy++ {
+		for dx := 0; dx <= 1; dx++ {
+			w := (1 - math.Abs(float64(dx)-wx)) * (1 - math.Abs(float64(dy)-wy))
+			if w <= 0 {
+				continue
+			}
+			x, y := x0+dx, y0+dy
+			if !sheet.Bounds().Contains(x, y) {
+				continue
+			}
+			p := sheet.At(x, y)
+			a := op * w
+			p.I += (1 - p.A) * a * in
+			p.A += (1 - p.A) * a
+			sheet.Set(x, y, p)
+		}
+	}
+}
+
+func compositeSheet(img, sheet *frame.Image, region frame.Rect) {
+	for y := region.Y0; y < region.Y1; y++ {
+		dst := img.Row(y, region.X0, region.X1)
+		src := sheet.Row(y, region.X0, region.X1)
+		for i := range src {
+			if src[i].Blank() {
+				continue
+			}
+			// img is in front of the new sheet.
+			dst[i] = frame.Over(dst[i], src[i])
+		}
+	}
+}

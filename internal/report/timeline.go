@@ -1,0 +1,91 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sortlast/internal/costmodel"
+	"sortlast/internal/stats"
+)
+
+// Timeline renders an ASCII per-rank view of one compositing run: for
+// every rank a bar of modeled per-stage cost (computation '#' and
+// communication '~'), scaled to a fixed width, plus the received-byte
+// counts. It makes load imbalance and stage structure visible at a
+// glance — the per-rank picture behind the tables' max-over-ranks
+// numbers.
+func Timeline(ranks []*stats.Rank, params costmodel.Params, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var present []*stats.Rank
+	for _, r := range ranks {
+		if r != nil {
+			present = append(present, r)
+		}
+	}
+	if len(present) == 0 {
+		return "timeline: no ranks\n"
+	}
+	sort.Slice(present, func(i, j int) bool { return present[i].RankID < present[j].RankID })
+
+	// Scale bars to the slowest rank.
+	var worst float64
+	costs := make([]costmodel.Cost, len(present))
+	for i, r := range present {
+		costs[i] = params.Rank(r)
+		if t := float64(costs[i].Total()); t > worst {
+			worst = t
+		}
+	}
+	if worst == 0 {
+		worst = 1
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "compositing timeline (%s, modeled; # compute, ~ communication; bar = %.2f ms)\n",
+		present[0].Method, worst/1e6)
+	for i, r := range present {
+		comp := int(float64(costs[i].Comp) / worst * float64(width))
+		comm := int(float64(costs[i].Comm) / worst * float64(width))
+		if comp+comm > width {
+			comm = width - comp
+		}
+		fmt.Fprintf(&sb, "  rank %3d |%s%s%s| %7.2f ms  %8d B recv",
+			r.RankID,
+			strings.Repeat("#", comp),
+			strings.Repeat("~", comm),
+			strings.Repeat(" ", width-comp-comm),
+			float64(costs[i].Total())/1e6,
+			r.BytesReceived())
+		if n := r.EmptyRecvRects(); n > 0 {
+			fmt.Fprintf(&sb, "  (%d empty rects)", n)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// StageBreakdown tabulates one rank's per-stage counters — the raw
+// quantities of the paper's equations for a single processor.
+func StageBreakdown(r *stats.Rank) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rank %d (%s): bound scan %d px\n", r.RankID, r.Method, r.BoundScan)
+	write := func(label string, s *stats.Stage) {
+		fmt.Fprintf(&sb,
+			"  %-7s recv_px=%-7d composited=%-7d encoded=%-7d codes=%-6d sent=%dB recv=%dB",
+			label, s.RecvPixels, s.Composited, s.Encoded, s.Codes, s.BytesSent, s.BytesRecv)
+		if s.RecvRectEmpty {
+			sb.WriteString("  [empty recv rect]")
+		}
+		sb.WriteByte('\n')
+	}
+	if s := r.Fold; s.MsgsRecv+s.MsgsSent > 0 {
+		write("fold", &s)
+	}
+	for i := range r.Stages {
+		write(fmt.Sprintf("stage %d", r.Stages[i].Stage), &r.Stages[i])
+	}
+	return sb.String()
+}

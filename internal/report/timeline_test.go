@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"sortlast/internal/costmodel"
+	"sortlast/internal/stats"
+)
+
+func sampleRanks() []*stats.Rank {
+	a := &stats.Rank{RankID: 0, Method: "BSBRC"}
+	s := a.StageAt(1)
+	s.RecvPixels = 1000
+	s.Composited = 800
+	s.BytesRecv = 16000
+	s.MsgsRecv = 1
+	b := &stats.Rank{RankID: 1, Method: "BSBRC"}
+	s2 := b.StageAt(1)
+	s2.Composited = 100
+	s2.BytesRecv = 8
+	s2.MsgsRecv = 1
+	s2.RecvRectEmpty = true
+	return []*stats.Rank{a, b, nil}
+}
+
+func TestTimelineRendersBars(t *testing.T) {
+	out := Timeline(sampleRanks(), costmodel.SP2(), 40)
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   1") {
+		t.Errorf("missing ranks:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no compute bars")
+	}
+	if !strings.Contains(out, "empty rects") {
+		t.Error("empty-rect annotation missing")
+	}
+	if !strings.Contains(out, "16000 B recv") {
+		t.Errorf("byte counts missing:\n%s", out)
+	}
+	// The slower rank's bar must be longer.
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Errorf("bar lengths do not reflect cost:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if out := Timeline(nil, costmodel.SP2(), 0); !strings.Contains(out, "no ranks") {
+		t.Errorf("empty timeline = %q", out)
+	}
+}
+
+func TestStageBreakdown(t *testing.T) {
+	r := sampleRanks()[0]
+	r.Fold.MsgsRecv = 1
+	r.Fold.BytesRecv = 99
+	out := StageBreakdown(r)
+	for _, want := range []string{"rank 0", "stage 1", "fold", "recv_px=1000", "recv=16000B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}

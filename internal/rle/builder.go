@@ -1,0 +1,91 @@
+package rle
+
+import "sortlast/internal/frame"
+
+// Builder constructs a background/foreground Encoding incrementally,
+// letting callers emit known-blank stretches arithmetically (without
+// touching pixel memory) and scan only the stretches that might contain
+// foreground. This is what lets a bounding-rectangle-aware encoder skip
+// the blank space outside the rectangle at zero per-pixel cost.
+type Builder struct {
+	e        Encoding
+	blankRun int
+	fgRun    int
+	scanned  int // pixels examined by Pixels (the T_encode quantity)
+}
+
+// Blank appends n known-blank pixels without scanning anything.
+func (b *Builder) Blank(n int) {
+	if n <= 0 {
+		return
+	}
+	if b.fgRun > 0 {
+		b.flushFg()
+	}
+	b.blankRun += n
+	b.e.Total += n
+}
+
+// Pixels scans a pixel slice, classifying each as blank or foreground.
+func (b *Builder) Pixels(px []frame.Pixel) {
+	b.scanned += len(px)
+	for _, p := range px {
+		if p.Blank() {
+			if b.fgRun > 0 {
+				b.flushFg()
+			}
+			b.blankRun++
+		} else {
+			if b.blankRun > 0 || len(b.e.Codes) == 0 {
+				b.flushBlank()
+			}
+			b.e.NonBlank = append(b.e.NonBlank, p)
+			b.fgRun++
+		}
+		b.e.Total++
+	}
+}
+
+// Scanned returns how many pixels Pixels examined.
+func (b *Builder) Scanned() int { return b.scanned }
+
+// Done finalizes and returns the encoding. The builder must not be
+// reused afterwards.
+func (b *Builder) Done() Encoding {
+	if b.fgRun > 0 {
+		b.flushFg()
+	}
+	// A trailing blank run is implicit (decoders pad to Total), except
+	// that an entirely empty encoding still needs its leading code.
+	if len(b.e.Codes) == 0 {
+		b.emit(b.blankRun)
+		b.blankRun = 0
+	}
+	return b.e
+}
+
+// flushBlank emits the pending blank run (possibly zero-length, as the
+// mandatory leading code or as a separator between foreground runs).
+func (b *Builder) flushBlank() {
+	b.emit(b.blankRun)
+	b.blankRun = 0
+}
+
+func (b *Builder) flushFg() {
+	if b.blankRun > 0 {
+		// Should not happen: blanks are flushed before foreground grows.
+		panic("rle: interleaved run state")
+	}
+	b.emit(b.fgRun)
+	b.fgRun = 0
+}
+
+// emit appends a run length, splitting values beyond the 2-byte range
+// with zero-length runs of the opposite phase.
+func (b *Builder) emit(n int) {
+	for n > maxRun {
+		b.e.Codes = append(b.e.Codes, maxRun, 0)
+		n -= maxRun
+	}
+	b.e.Codes = append(b.e.Codes, uint16(n))
+}

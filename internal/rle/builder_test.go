@@ -1,0 +1,133 @@
+package rle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sortlast/internal/frame"
+)
+
+// A builder fed an arbitrary segmentation of a sequence (mixing Blank
+// stretches for the actually-blank parts and Pixels scans) must produce
+// an encoding that decodes to the same sequence as Encode over the whole
+// thing.
+func TestBuilderMatchesEncode(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(randSparsePixels(r, r.Intn(800), r.Float64()))
+		vals[1] = reflect.ValueOf(r.Int63())
+	}}
+	err := quick.Check(func(seq []frame.Pixel, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b Builder
+		i := 0
+		for i < len(seq) {
+			n := 1 + r.Intn(50)
+			if i+n > len(seq) {
+				n = len(seq) - i
+			}
+			chunk := seq[i : i+n]
+			allBlank := true
+			for _, p := range chunk {
+				if !p.Blank() {
+					allBlank = false
+					break
+				}
+			}
+			if allBlank && r.Intn(2) == 0 {
+				b.Blank(n) // arithmetic emission for known-blank parts
+			} else {
+				b.Pixels(chunk)
+			}
+			i += n
+		}
+		got := b.Done()
+		dec := got.Decode()
+		if len(dec) != len(seq) {
+			return false
+		}
+		for j := range seq {
+			if dec[j] != seq[j] {
+				return false
+			}
+		}
+		// The builder must also be wire-valid.
+		_, _, err := Unpack(got.Pack(nil))
+		return err == nil
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderMatchesEncodeExactly(t *testing.T) {
+	// When every pixel goes through Pixels, codes must equal Encode's.
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		seq := randSparsePixels(r, r.Intn(400), 0.4)
+		var b Builder
+		b.Pixels(seq)
+		got := b.Done()
+		want := Encode(seq)
+		if got.Total != want.Total || !reflect.DeepEqual(got.Codes, want.Codes) ||
+			!reflect.DeepEqual(got.NonBlank, want.NonBlank) {
+			t.Fatalf("trial %d: builder %v/%v, encode %v/%v",
+				trial, got.Codes, len(got.NonBlank), want.Codes, len(want.NonBlank))
+		}
+	}
+}
+
+func TestBuilderBlankOnly(t *testing.T) {
+	var b Builder
+	b.Blank(100)
+	e := b.Done()
+	if e.Total != 100 || len(e.NonBlank) != 0 {
+		t.Fatalf("blank-only encoding: %+v", e)
+	}
+	dec := e.Decode()
+	for _, p := range dec {
+		if !p.Blank() {
+			t.Fatal("blank-only must decode blank")
+		}
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	var b Builder
+	e := b.Done()
+	if e.Total != 0 {
+		t.Fatalf("empty builder total = %d", e.Total)
+	}
+	if len(e.Decode()) != 0 {
+		t.Fatal("empty decode")
+	}
+}
+
+func TestBuilderScannedCountsOnlyPixels(t *testing.T) {
+	var b Builder
+	b.Blank(1000)
+	b.Pixels(make([]frame.Pixel, 7))
+	b.Blank(5)
+	if b.Scanned() != 7 {
+		t.Errorf("scanned = %d, want 7", b.Scanned())
+	}
+}
+
+func TestBuilderLongRuns(t *testing.T) {
+	var b Builder
+	b.Blank(3*maxRun + 11)
+	px := make([]frame.Pixel, maxRun+5)
+	for i := range px {
+		px[i] = frame.Pixel{I: 0.5, A: 0.5}
+	}
+	b.Pixels(px)
+	e := b.Done()
+	dec := e.Decode()
+	if len(dec) != 3*maxRun+11+maxRun+5 {
+		t.Fatalf("decoded %d pixels", len(dec))
+	}
+	if !dec[0].Blank() || dec[len(dec)-1].Blank() {
+		t.Fatal("run boundaries wrong")
+	}
+}

@@ -1,0 +1,165 @@
+package rle
+
+import (
+	"fmt"
+
+	"sortlast/internal/frame"
+)
+
+// Run is one run of the value-based encoding of Ahrens and Painter: Count
+// consecutive pixels all equal to Value. On the wire a run costs a pixel
+// plus a 2-byte count.
+type Run struct {
+	Value frame.Pixel
+	Count uint16
+}
+
+// RunBytes is the wire size of one value-encoded run.
+const RunBytes = frame.PixelBytes + CodeBytes
+
+// EncodeValues run-length encodes pixels by exact value equality. For
+// synthetic integer-valued images this compresses well; for
+// floating-point volume-rendered pixels adjacent values almost never
+// repeat, so the encoding approaches one run per pixel — the degeneration
+// the paper's §3.3 points out.
+func EncodeValues(pixels []frame.Pixel) []Run {
+	var runs []Run
+	i := 0
+	for i < len(pixels) {
+		j := i + 1
+		for j < len(pixels) && pixels[j] == pixels[i] && j-i < maxRun {
+			j++
+		}
+		runs = append(runs, Run{Value: pixels[i], Count: uint16(j - i)})
+		i = j
+	}
+	return runs
+}
+
+// DecodeValues expands runs back into a dense pixel sequence.
+func DecodeValues(runs []Run) []frame.Pixel {
+	n := 0
+	for _, r := range runs {
+		n += int(r.Count)
+	}
+	out := make([]frame.Pixel, 0, n)
+	for _, r := range runs {
+		for k := 0; k < int(r.Count); k++ {
+			out = append(out, r.Value)
+		}
+	}
+	return out
+}
+
+// RunsLen returns the total pixel count described by runs.
+func RunsLen(runs []Run) int {
+	n := 0
+	for _, r := range runs {
+		n += int(r.Count)
+	}
+	return n
+}
+
+// RunsWireBytes returns the wire size of a run sequence.
+func RunsWireBytes(runs []Run) int { return len(runs) * RunBytes }
+
+// CompositeRuns composites two value-encoded images of the same length
+// without decoding, front over back, following Ahrens and Painter: at
+// each step the smaller of the two head counts determines how many pixels
+// can be composited at once; blank-over-x and x-over-blank pass runs
+// through unchanged, preserving compression. The result is re-coalesced
+// where adjacent output runs happen to be equal.
+func CompositeRuns(front, back []Run) ([]Run, error) {
+	if RunsLen(front) != RunsLen(back) {
+		return nil, fmt.Errorf("rle: composite length mismatch: front %d, back %d",
+			RunsLen(front), RunsLen(back))
+	}
+	var out []Run
+	emit := func(v frame.Pixel, n int) {
+		for n > 0 {
+			c := n
+			if c > maxRun {
+				c = maxRun
+			}
+			if len(out) > 0 && out[len(out)-1].Value == v &&
+				int(out[len(out)-1].Count)+c <= maxRun {
+				out[len(out)-1].Count += uint16(c)
+			} else {
+				out = append(out, Run{Value: v, Count: uint16(c)})
+			}
+			n -= c
+		}
+	}
+	fi, bi := 0, 0
+	fLeft, bLeft := 0, 0
+	if len(front) > 0 {
+		fLeft = int(front[0].Count)
+	}
+	if len(back) > 0 {
+		bLeft = int(back[0].Count)
+	}
+	for fi < len(front) && bi < len(back) {
+		n := fLeft
+		if bLeft < n {
+			n = bLeft
+		}
+		fv, bv := front[fi].Value, back[bi].Value
+		switch {
+		case fv.Blank():
+			emit(bv, n)
+		case bv.Blank() || fv.Opaque():
+			emit(fv, n)
+		default:
+			emit(frame.Over(fv, bv), n)
+		}
+		fLeft -= n
+		bLeft -= n
+		if fLeft == 0 {
+			fi++
+			if fi < len(front) {
+				fLeft = int(front[fi].Count)
+			}
+		}
+		if bLeft == 0 {
+			bi++
+			if bi < len(back) {
+				bLeft = int(back[bi].Count)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PackRuns serializes runs: a 4-byte run count then each run as pixel +
+// 2-byte count.
+func PackRuns(runs []Run, buf []byte) []byte {
+	buf = appendU32(buf, uint32(len(runs)))
+	var px [frame.PixelBytes]byte
+	for _, r := range runs {
+		frame.PutPixel(px[:], r.Value)
+		buf = append(buf, px[:]...)
+		buf = append(buf, byte(r.Count), byte(r.Count>>8))
+	}
+	return buf
+}
+
+// UnpackRuns parses a run sequence produced by PackRuns from the front of
+// buf and returns the remaining bytes.
+func UnpackRuns(buf []byte) ([]Run, []byte, error) {
+	n, buf, err := readU32(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(buf) < int(n)*RunBytes {
+		return nil, nil, fmt.Errorf("rle: truncated runs: want %d, have %d bytes",
+			n, len(buf))
+	}
+	runs := make([]Run, n)
+	for i := range runs {
+		off := i * RunBytes
+		runs[i].Value = frame.GetPixel(buf[off:])
+		runs[i].Count = uint16(buf[off+frame.PixelBytes]) |
+			uint16(buf[off+frame.PixelBytes+1])<<8
+	}
+	return runs, buf[int(n)*RunBytes:], nil
+}

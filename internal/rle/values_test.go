@@ -1,0 +1,165 @@
+package rle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sortlast/internal/frame"
+)
+
+func TestEncodeValuesRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Values: func(vals []reflect.Value, r *rand.Rand) {
+		n := r.Intn(1000)
+		pixels := make([]frame.Pixel, n)
+		// Quantized values so runs actually form.
+		for i := range pixels {
+			v := float64(r.Intn(4)) / 4
+			pixels[i] = frame.Pixel{I: v * v, A: v}
+		}
+		vals[0] = reflect.ValueOf(pixels)
+	}}
+	err := quick.Check(func(in []frame.Pixel) bool {
+		runs := EncodeValues(in)
+		out := DecodeValues(runs)
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return RunsLen(runs) == len(in)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeValuesCoalesces(t *testing.T) {
+	in := make([]frame.Pixel, 1000)
+	runs := EncodeValues(in)
+	if len(runs) != 1 {
+		t.Errorf("1000 equal pixels -> %d runs, want 1", len(runs))
+	}
+	if runs[0].Count != 1000 {
+		t.Errorf("run count = %d", runs[0].Count)
+	}
+}
+
+func TestEncodeValuesDegeneratesOnFloats(t *testing.T) {
+	// The paper's §3.3 argument: float-valued volume pixels rarely repeat,
+	// so value-RLE yields one run per pixel.
+	r := rand.New(rand.NewSource(9))
+	in := make([]frame.Pixel, 500)
+	for i := range in {
+		a := 0.1 + 0.9*r.Float64()
+		in[i] = frame.Pixel{I: r.Float64() * a, A: a}
+	}
+	runs := EncodeValues(in)
+	if len(runs) != len(in) {
+		t.Errorf("distinct float pixels -> %d runs, want %d", len(runs), len(in))
+	}
+}
+
+func TestCompositeRunsMatchesDenseOver(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(400)
+		front := quantizedPixels(r, n)
+		back := quantizedPixels(r, n)
+		fr, br := EncodeValues(front), EncodeValues(back)
+		got, err := CompositeRuns(fr, br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense := DecodeValues(got)
+		if len(dense) != n {
+			t.Fatalf("trial %d: composited length %d, want %d", trial, len(dense), n)
+		}
+		for i := 0; i < n; i++ {
+			want := frame.Over(front[i], back[i])
+			if front[i].Blank() {
+				want = back[i]
+			} else if back[i].Blank() || front[i].Opaque() {
+				want = front[i]
+			}
+			if !dense[i].NearlyEqual(want, 1e-12) {
+				t.Fatalf("trial %d pixel %d: got %v want %v", trial, i, dense[i], want)
+			}
+		}
+	}
+}
+
+func quantizedPixels(r *rand.Rand, n int) []frame.Pixel {
+	out := make([]frame.Pixel, n)
+	for i := range out {
+		switch r.Intn(4) {
+		case 0: // blank
+		case 1:
+			out[i] = frame.Pixel{I: 0.25, A: 0.5}
+		case 2:
+			out[i] = frame.Pixel{I: 0.5, A: 1}
+		case 3:
+			out[i] = frame.Pixel{I: 0.75, A: 0.75}
+		}
+	}
+	return out
+}
+
+func TestCompositeRunsLengthMismatch(t *testing.T) {
+	a := EncodeValues(make([]frame.Pixel, 5))
+	b := EncodeValues(make([]frame.Pixel, 6))
+	if _, err := CompositeRuns(a, b); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+}
+
+func TestCompositeRunsPreservesCompression(t *testing.T) {
+	// Blank front over a long constant back run must pass the run through
+	// without fragmenting it.
+	front := EncodeValues(make([]frame.Pixel, 1000))
+	backPixels := make([]frame.Pixel, 1000)
+	for i := range backPixels {
+		backPixels[i] = frame.Pixel{I: 0.5, A: 1}
+	}
+	back := EncodeValues(backPixels)
+	out, err := CompositeRuns(front, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Errorf("composite fragmented into %d runs, want 1", len(out))
+	}
+}
+
+func TestPackUnpackRuns(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	runs := EncodeValues(quantizedPixels(r, 300))
+	buf := PackRuns(runs, nil)
+	if len(buf) != 4+len(runs)*RunBytes {
+		t.Fatalf("packed %d bytes", len(buf))
+	}
+	got, rest, err := UnpackRuns(append(buf, 0xFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 {
+		t.Fatalf("rest = %d", len(rest))
+	}
+	if !reflect.DeepEqual(got, runs) {
+		t.Error("run round trip mismatch")
+	}
+	if _, _, err := UnpackRuns(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated runs must be rejected")
+	}
+}
+
+func TestRunsWireBytes(t *testing.T) {
+	runs := []Run{{Count: 3}, {Value: frame.Pixel{I: 1, A: 1}, Count: 2}}
+	if RunsWireBytes(runs) != 2*RunBytes {
+		t.Errorf("RunsWireBytes = %d", RunsWireBytes(runs))
+	}
+}

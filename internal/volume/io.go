@@ -1,0 +1,95 @@
+package volume
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Raw-file I/O. Two formats are supported:
+//
+//   - The native format: a 16-byte header ("SLSV" magic, then NX, NY, NZ
+//     as little-endian uint32) followed by the x-fastest uint8 samples.
+//   - Headerless raw dumps (as CT datasets are traditionally shipped),
+//     read with externally supplied dimensions via ReadRawDims.
+
+const magic = "SLSV"
+
+// Write serializes v in the native format.
+func (v *Volume) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var dims [12]byte
+	binary.LittleEndian.PutUint32(dims[0:4], uint32(v.NX))
+	binary.LittleEndian.PutUint32(dims[4:8], uint32(v.NY))
+	binary.LittleEndian.PutUint32(dims[8:12], uint32(v.NZ))
+	if _, err := bw.Write(dims[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(v.Data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a volume in the native format.
+func Read(r io.Reader) (*Volume, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("volume: reading header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("volume: bad magic %q (want %q)", hdr[:4], magic)
+	}
+	nx := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	ny := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	nz := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	const maxVoxels = 1 << 31
+	if nx <= 0 || ny <= 0 || nz <= 0 || int64(nx)*int64(ny)*int64(nz) > maxVoxels {
+		return nil, fmt.Errorf("volume: implausible dimensions %dx%dx%d", nx, ny, nz)
+	}
+	v := New(nx, ny, nz)
+	if _, err := io.ReadFull(br, v.Data); err != nil {
+		return nil, fmt.Errorf("volume: reading %d samples: %w", len(v.Data), err)
+	}
+	return v, nil
+}
+
+// WriteFile writes v to path in the native format.
+func (v *Volume) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := v.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a native-format volume from path.
+func ReadFile(path string) (*Volume, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// ReadRawDims reads a headerless raw dump of nx*ny*nz uint8 samples,
+// x-fastest — the conventional distribution format of CT volumes like the
+// paper's Engine and Head scans.
+func ReadRawDims(r io.Reader, nx, ny, nz int) (*Volume, error) {
+	v := New(nx, ny, nz)
+	if _, err := io.ReadFull(bufio.NewReader(r), v.Data); err != nil {
+		return nil, fmt.Errorf("volume: reading raw %dx%dx%d: %w", nx, ny, nz, err)
+	}
+	return v, nil
+}

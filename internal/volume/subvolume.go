@@ -1,0 +1,118 @@
+package volume
+
+import (
+	"fmt"
+	"io"
+)
+
+// Subvolume is the unit of the partitioning phase: the voxels of one
+// rank's box plus a layer of ghost voxels, so the rank can trilinearly
+// interpolate (ghost >= 1) or shade (ghost >= 2) near its boundary
+// without touching remote data. Sampling positions are in the original
+// volume's global coordinates.
+type Subvolume struct {
+	Box   Box // the owned region, in global voxel coordinates
+	Ghost int
+	grid  *Volume // extent of Box plus Ghost on every side
+}
+
+// Extract copies box (plus ghost cells, clipped at the volume boundary
+// where out-of-range voxels are zero anyway) out of v.
+func Extract(v *Volume, box Box, ghost int) (*Subvolume, error) {
+	if box.Empty() {
+		return nil, fmt.Errorf("volume: extracting empty box %v", box)
+	}
+	if ghost < 0 {
+		return nil, fmt.Errorf("volume: negative ghost width %d", ghost)
+	}
+	s := &Subvolume{
+		Box:   box,
+		Ghost: ghost,
+		grid:  New(box.Dx()+2*ghost, box.Dy()+2*ghost, box.Dz()+2*ghost),
+	}
+	for z := 0; z < s.grid.NZ; z++ {
+		gz := box.Lo[2] - ghost + z
+		for y := 0; y < s.grid.NY; y++ {
+			gy := box.Lo[1] - ghost + y
+			for x := 0; x < s.grid.NX; x++ {
+				s.grid.Set(x, y, z, v.At(box.Lo[0]-ghost+x, gy, gz))
+			}
+		}
+	}
+	return s, nil
+}
+
+// At returns the voxel at global coordinates, zero outside the stored
+// region.
+func (s *Subvolume) At(x, y, z int) uint8 {
+	return s.grid.At(x-s.Box.Lo[0]+s.Ghost, y-s.Box.Lo[1]+s.Ghost, z-s.Box.Lo[2]+s.Ghost)
+}
+
+// Sample trilinearly interpolates at a global continuous position. For
+// positions within Box the result is bit-identical to sampling the
+// original volume as long as Ghost >= 1.
+func (s *Subvolume) Sample(x, y, z float64) float64 {
+	g := float64(s.Ghost)
+	return s.grid.Sample(
+		x-float64(s.Box.Lo[0])+g,
+		y-float64(s.Box.Lo[1])+g,
+		z-float64(s.Box.Lo[2])+g)
+}
+
+// Gradient returns the central-difference gradient at a global position;
+// it matches the full volume's gradient inside Box when Ghost >= 2.
+func (s *Subvolume) Gradient(x, y, z float64) [3]float64 {
+	g := float64(s.Ghost)
+	return s.grid.Gradient(
+		x-float64(s.Box.Lo[0])+g,
+		y-float64(s.Box.Lo[1])+g,
+		z-float64(s.Box.Lo[2])+g)
+}
+
+// Serialize writes the subvolume (box, ghost, grid) for the scatter
+// step of the partitioning phase.
+func (s *Subvolume) Serialize(w io.Writer) error {
+	hdr := make([]byte, 0, 7*4)
+	for _, v := range []int{
+		s.Box.Lo[0], s.Box.Lo[1], s.Box.Lo[2],
+		s.Box.Hi[0], s.Box.Hi[1], s.Box.Hi[2], s.Ghost,
+	} {
+		hdr = append(hdr, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	return s.grid.Write(w)
+}
+
+// ReadSubvolume parses a subvolume written with Serialize.
+func ReadSubvolume(r io.Reader) (*Subvolume, error) {
+	hdr := make([]byte, 7*4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("volume: reading subvolume header: %w", err)
+	}
+	vals := make([]int, 7)
+	for i := range vals {
+		off := i * 4
+		vals[i] = int(int32(uint32(hdr[off]) | uint32(hdr[off+1])<<8 |
+			uint32(hdr[off+2])<<16 | uint32(hdr[off+3])<<24))
+	}
+	s := &Subvolume{
+		Box:   Box{Lo: [3]int{vals[0], vals[1], vals[2]}, Hi: [3]int{vals[3], vals[4], vals[5]}},
+		Ghost: vals[6],
+	}
+	if s.Box.Empty() || s.Ghost < 0 {
+		return nil, fmt.Errorf("volume: corrupt subvolume header: box %v ghost %d", s.Box, s.Ghost)
+	}
+	grid, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	want := [3]int{s.Box.Dx() + 2*s.Ghost, s.Box.Dy() + 2*s.Ghost, s.Box.Dz() + 2*s.Ghost}
+	if grid.NX != want[0] || grid.NY != want[1] || grid.NZ != want[2] {
+		return nil, fmt.Errorf("volume: subvolume grid %dx%dx%d does not match box %v ghost %d",
+			grid.NX, grid.NY, grid.NZ, s.Box, s.Ghost)
+	}
+	s.grid = grid
+	return s, nil
+}

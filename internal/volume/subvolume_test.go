@@ -1,0 +1,172 @@
+package volume
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestExtractValidation(t *testing.T) {
+	v := New(8, 8, 8)
+	if _, err := Extract(v, Box{}, 1); err == nil {
+		t.Error("empty box must be rejected")
+	}
+	if _, err := Extract(v, v.Bounds(), -1); err == nil {
+		t.Error("negative ghost must be rejected")
+	}
+}
+
+func TestSubvolumeAtMatchesParent(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	v := New(16, 16, 16)
+	for i := range v.Data {
+		v.Data[i] = uint8(r.Intn(256))
+	}
+	box := Box{Lo: [3]int{4, 6, 2}, Hi: [3]int{12, 14, 10}}
+	sub, err := Extract(v, box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := box.Lo[2] - 1; z <= box.Hi[2]; z++ {
+		for y := box.Lo[1] - 1; y <= box.Hi[1]; y++ {
+			for x := box.Lo[0] - 1; x <= box.Hi[0]; x++ {
+				if sub.At(x, y, z) != v.At(x, y, z) {
+					t.Fatalf("voxel (%d,%d,%d): sub %d, parent %d",
+						x, y, z, sub.At(x, y, z), v.At(x, y, z))
+				}
+			}
+		}
+	}
+	// Outside the stored region (beyond ghost) reads zero.
+	if sub.At(0, 0, 0) != 0 {
+		t.Error("far outside must read 0")
+	}
+}
+
+// With ghost >= 1, sampling inside the box matches the parent volume to
+// within an ulp (the coordinate translation is float arithmetic) — the
+// property partitioned rendering relies on.
+func TestSubvolumeSampleExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	v := New(16, 16, 16)
+	for i := range v.Data {
+		v.Data[i] = uint8(r.Intn(256))
+	}
+	box := Box{Lo: [3]int{3, 5, 7}, Hi: [3]int{11, 13, 15}}
+	sub, err := Extract(v, box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3000; trial++ {
+		x := float64(box.Lo[0]) + r.Float64()*float64(box.Dx())
+		y := float64(box.Lo[1]) + r.Float64()*float64(box.Dy())
+		z := float64(box.Lo[2]) + r.Float64()*float64(box.Dz())
+		got, want := sub.Sample(x, y, z), v.Sample(x, y, z)
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("sample (%v,%v,%v): sub %v, parent %v", x, y, z, got, want)
+		}
+	}
+}
+
+// With ghost >= 2, gradients inside the box match the parent's to within
+// an ulp.
+func TestSubvolumeGradientExact(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	v := New(16, 16, 16)
+	for i := range v.Data {
+		v.Data[i] = uint8(r.Intn(256))
+	}
+	box := Box{Lo: [3]int{4, 4, 4}, Hi: [3]int{12, 12, 12}}
+	sub, err := Extract(v, box, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		x := float64(box.Lo[0]) + r.Float64()*float64(box.Dx())
+		y := float64(box.Lo[1]) + r.Float64()*float64(box.Dy())
+		z := float64(box.Lo[2]) + r.Float64()*float64(box.Dz())
+		got, want := sub.Gradient(x, y, z), v.Gradient(x, y, z)
+		for a := 0; a < 3; a++ {
+			if diff := got[a] - want[a]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("gradient (%v,%v,%v): sub %v, parent %v", x, y, z, got, want)
+			}
+		}
+	}
+}
+
+func TestSubvolumeSerializeRoundTrip(t *testing.T) {
+	v := EngineBlock(24, 24, 12)
+	box := Box{Lo: [3]int{6, 6, 3}, Hi: [3]int{18, 18, 9}}
+	sub, err := Extract(v, box, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sub.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSubvolume(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Box != sub.Box || got.Ghost != sub.Ghost {
+		t.Fatalf("header mismatch: %+v vs %+v", got.Box, sub.Box)
+	}
+	for z := box.Lo[2]; z < box.Hi[2]; z++ {
+		for y := box.Lo[1]; y < box.Hi[1]; y++ {
+			for x := box.Lo[0]; x < box.Hi[0]; x++ {
+				if got.At(x, y, z) != sub.At(x, y, z) {
+					t.Fatalf("voxel (%d,%d,%d) lost in round trip", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestReadSubvolumeRejectsCorruption(t *testing.T) {
+	v := SolidCube(16, 16, 16)
+	sub, err := Extract(v, Box{Lo: [3]int{4, 4, 4}, Hi: [3]int{12, 12, 12}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sub.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations anywhere must be detected.
+	for _, cut := range []int{0, 5, 27, 30, len(good) / 2} {
+		if _, err := ReadSubvolume(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// An inverted box must be rejected.
+	bad := append([]byte(nil), good...)
+	bad[0], bad[12] = bad[12], bad[0] // swap Lo[0] and Hi[0]
+	if _, err := ReadSubvolume(bytes.NewReader(bad)); err == nil {
+		t.Error("inverted box accepted")
+	}
+	// A grid whose dimensions disagree with the box must be rejected.
+	bad2 := append([]byte(nil), good...)
+	bad2[24] = 0 // ghost = 0 while the grid was built with ghost 1
+	if _, err := ReadSubvolume(bytes.NewReader(bad2)); err == nil {
+		t.Error("ghost/grid mismatch accepted")
+	}
+}
+
+func TestExtractClipsGhostAtVolumeEdge(t *testing.T) {
+	v := New(8, 8, 8)
+	v.Fill(v.Bounds(), 7)
+	sub, err := Extract(v, Box{Hi: [3]int{4, 4, 4}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ghost cells beyond the volume read zero, inside read the fill.
+	if sub.At(-1, 0, 0) != 0 {
+		t.Error("ghost outside the parent volume must be 0")
+	}
+	if sub.At(4, 0, 0) != 7 {
+		t.Error("ghost inside the parent volume must carry its value")
+	}
+}

@@ -1,0 +1,76 @@
+package volume
+
+// VoxelWork estimates rendering cost from voxel occupancy: every voxel
+// costs Base (traversal, sampling) and voxels above Threshold cost
+// Opaque more (classification, shading, compositing). It backs the
+// load-balanced rendering decomposition (paper §5 future work).
+type VoxelWork struct {
+	Vol       *Volume
+	Threshold uint8
+	Base      uint64 // per-voxel cost; 0 means 1
+	Opaque    uint64 // extra cost per above-threshold voxel; 0 means 8
+}
+
+func (w VoxelWork) base() uint64 {
+	if w.Base == 0 {
+		return 1
+	}
+	return w.Base
+}
+
+func (w VoxelWork) opaque() uint64 {
+	if w.Opaque == 0 {
+		return 8
+	}
+	return w.Opaque
+}
+
+// SliceWeights implements the partition package's WorkEstimator: the
+// estimated work of b restricted to each unit slice along axis.
+func (w VoxelWork) SliceWeights(b Box, axis int) []uint64 {
+	b = b.Intersect(w.Vol.Bounds())
+	out := make([]uint64, b.Extent(axis))
+	base, opaque := w.base(), w.opaque()
+	for z := b.Lo[2]; z < b.Hi[2]; z++ {
+		for y := b.Lo[1]; y < b.Hi[1]; y++ {
+			row := w.Vol.Data[w.Vol.Index(b.Lo[0], y, z):w.Vol.Index(b.Hi[0], y, z)]
+			switch axis {
+			case 0:
+				for x, v := range row {
+					work := base
+					if v > w.Threshold {
+						work += opaque
+					}
+					out[x] += work
+				}
+			case 1:
+				work := base * uint64(len(row))
+				for _, v := range row {
+					if v > w.Threshold {
+						work += opaque
+					}
+				}
+				out[y-b.Lo[1]] += work
+			default:
+				work := base * uint64(len(row))
+				for _, v := range row {
+					if v > w.Threshold {
+						work += opaque
+					}
+				}
+				out[z-b.Lo[2]] += work
+			}
+		}
+	}
+	return out
+}
+
+// BoxWork returns the total estimated work of a box (the sum of its
+// slice weights), used by tests and the balance report.
+func (w VoxelWork) BoxWork(b Box) uint64 {
+	var total uint64
+	for _, s := range w.SliceWeights(b, 0) {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,80 @@
+package volume
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSliceWeightsMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	v := New(12, 10, 8)
+	for i := range v.Data {
+		v.Data[i] = uint8(r.Intn(256))
+	}
+	w := VoxelWork{Vol: v, Threshold: 100, Base: 2, Opaque: 7}
+	b := Box{Lo: [3]int{2, 1, 3}, Hi: [3]int{10, 9, 7}}
+	for axis := 0; axis < 3; axis++ {
+		got := w.SliceWeights(b, axis)
+		if len(got) != b.Extent(axis) {
+			t.Fatalf("axis %d: %d weights for extent %d", axis, len(got), b.Extent(axis))
+		}
+		for s := 0; s < b.Extent(axis); s++ {
+			slice := b
+			slice.Lo[axis] = b.Lo[axis] + s
+			slice.Hi[axis] = b.Lo[axis] + s + 1
+			var want uint64
+			for z := slice.Lo[2]; z < slice.Hi[2]; z++ {
+				for y := slice.Lo[1]; y < slice.Hi[1]; y++ {
+					for x := slice.Lo[0]; x < slice.Hi[0]; x++ {
+						want += 2
+						if v.At(x, y, z) > 100 {
+							want += 7
+						}
+					}
+				}
+			}
+			if got[s] != want {
+				t.Fatalf("axis %d slice %d: got %d want %d", axis, s, got[s], want)
+			}
+		}
+	}
+}
+
+func TestVoxelWorkDefaults(t *testing.T) {
+	v := New(4, 4, 4)
+	v.Set(1, 1, 1, 200)
+	w := VoxelWork{Vol: v, Threshold: 100} // Base and Opaque default
+	total := w.BoxWork(v.Bounds())
+	// 64 voxels at base 1 plus one opaque at +8.
+	if total != 64+8 {
+		t.Errorf("default work = %d, want 72", total)
+	}
+}
+
+func TestBoxWorkEqualsSliceSum(t *testing.T) {
+	v := EngineBlock(16, 16, 8)
+	w := VoxelWork{Vol: v, Threshold: 50}
+	b := Box{Lo: [3]int{2, 2, 1}, Hi: [3]int{14, 14, 7}}
+	var sum uint64
+	for _, s := range w.SliceWeights(b, 1) {
+		sum += s
+	}
+	if got := w.BoxWork(b); got != sum {
+		t.Errorf("BoxWork %d != slice sum %d", got, sum)
+	}
+}
+
+func TestSliceWeightsClipsToGrid(t *testing.T) {
+	v := New(4, 4, 4)
+	w := VoxelWork{Vol: v, Threshold: 0, Base: 1, Opaque: 0}
+	over := Box{Lo: [3]int{-2, 0, 0}, Hi: [3]int{6, 4, 4}}
+	got := w.SliceWeights(over, 0)
+	if len(got) != 4 { // clipped to the grid's 4 slices
+		t.Fatalf("%d weights after clipping", len(got))
+	}
+	for _, g := range got {
+		if g != 16 {
+			t.Fatalf("slice weight %d, want 16", g)
+		}
+	}
+}
