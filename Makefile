@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check is the pre-commit gate: static analysis, a full build, the full
+# test suite, and the race detector over the packages that run
+# goroutine-parallel code (the simulated ranks in core/mp and the
+# scanline worker pool in render).
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/render/ ./internal/core/ ./internal/mp/
+
+# bench runs the compositing allocation benchmarks used in EXPERIMENTS.md.
+bench:
+	$(GO) test -run xxx -bench BenchmarkCompositeAllocs -benchmem .

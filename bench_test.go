@@ -62,7 +62,7 @@ type benchEnv struct {
 var envCache sync.Map // string -> *benchEnv
 
 // getEnv renders (once) the per-rank subimages for a configuration.
-func getEnv(b *testing.B, dataset string, size, p int, rotX, rotY float64) *benchEnv {
+func getEnv(b testing.TB, dataset string, size, p int, rotX, rotY float64) *benchEnv {
 	b.Helper()
 	key := fmt.Sprintf("%s/%d/%d/%g/%g", dataset, size, p, rotX, rotY)
 	if v, ok := envCache.Load(key); ok {
@@ -89,7 +89,7 @@ func benchWorldOpts() mp.Options { return mp.Options{RecvTimeout: 120 * time.Sec
 
 // compositeOnce runs one compositing phase over fresh copies of the
 // rendered subimages and returns the per-rank counters.
-func compositeOnce(b *testing.B, env *benchEnv, method string, granularity int) []*stats.Rank {
+func compositeOnce(b testing.TB, env *benchEnv, method string, granularity int) []*stats.Rank {
 	b.Helper()
 	comp, err := core.New(method)
 	if err != nil {
@@ -298,6 +298,42 @@ func BenchmarkNonPowerOfTwo(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(row.TotalMS, "model_total_ms")
+		})
+	}
+}
+
+// BenchmarkCompositeAllocs measures the allocation behaviour of one full
+// compositing phase (all ranks, all stages) per method at P=8, 384x384 —
+// the workload of the issue's zero-copy data-path criterion. The world is
+// built once and every iteration runs a complete composite over it, the
+// way an interactive renderer composites successive frames on a standing
+// communicator, so allocs/op isolates the data path: per-rank
+// pack/encode/decode/composite work, the mandatory message copies, and
+// the per-iteration subimage clones that restore the pre-composite state.
+// Run with -benchmem.
+func BenchmarkCompositeAllocs(b *testing.B) {
+	for _, m := range []string{"bs", "bsbr", "bslc", "bsbrc"} {
+		b.Run(m, func(b *testing.B) {
+			env := getEnv(b, "engine_high", 384, 8, paperRotX, paperRotY)
+			comp, err := core.New(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			err = mp.Run(env.p, benchWorldOpts(), func(c mp.Comm) error {
+				var img frame.Image
+				for i := 0; i < b.N; i++ {
+					img.CopyFrom(env.imgs[c.Rank()])
+					if _, err := comp.Composite(c, env.dec, env.cam.Dir, &img); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
 		})
 	}
 }

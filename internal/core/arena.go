@@ -1,0 +1,43 @@
+package core
+
+import (
+	"sync"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/rle"
+)
+
+// arena bundles the per-rank scratch a compositor reuses across stages:
+// a wire-buffer codec, a reusable background/foreground encoding with
+// its SeqEncoder and Builder front ends, and a value-run slice. Stage
+// exchange regions shrink monotonically, so the storage sized by stage 1
+// serves every later stage without reallocating; mp.Comm.Send copies
+// payloads, which makes handing the same buffer to consecutive sends
+// safe. Each Composite call checks an arena out of a shared pool for its
+// exclusive use — concurrent ranks never share scratch, and successive
+// composites over a standing communicator reuse warm buffers instead of
+// allocating fresh ones per frame.
+type arena struct {
+	codec frame.Codec
+	enc   rle.Encoding
+	b     rle.Builder
+	runs  []rle.Run
+	// iv double-buffers interval scratch for the load-balanced methods:
+	// each stage splits the previous stage's kept set, which aliases one
+	// of these slices, so the split alternates between the two pairs —
+	// stage k writes pair (k%2)*2 while reading from the other pair.
+	iv [4][]Interval
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+func getArena() *arena  { return arenaPool.Get().(*arena) }
+func putArena(a *arena) { arenaPool.Put(a) }
+
+// rect starts a payload with an 8-byte rectangle header in codec
+// scratch, reserving room for extra more bytes of appended body.
+func (a *arena) rect(r frame.Rect, extra int) []byte {
+	payload := a.codec.Grab(frame.RectBytes + extra)[:frame.RectBytes]
+	frame.PutRect(payload, r)
+	return payload
+}

@@ -37,6 +37,8 @@ func (DirectSend) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "DirectSend"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	p := c.Size()
 	me := c.Rank()
 	full := img.Full()
@@ -55,16 +57,16 @@ func (DirectSend) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]
 			continue
 		}
 		sr := localBR.Intersect(stripRect(full, dst, p))
-		payload := make([]byte, frame.RectBytes, frame.RectBytes+sr.Area()*frame.PixelBytes)
-		frame.PutRect(payload, sr)
+		payload := ar.rect(sr, sr.Area()*frame.PixelBytes)
 		if !sr.Empty() {
 			timer.Start()
-			payload = append(payload, frame.PackPixels(img.PackRegion(sr))...)
+			payload = frame.EncodeRegion(img, sr, payload)
 			timer.Stop()
 		}
 		if err := c.Send(dst, tagDirect, payload); err != nil {
 			return nil, fmt.Errorf("direct: send to %d: %w", dst, err)
 		}
+		ar.codec.Retain(payload)
 		s.MsgsSent++
 		s.BytesSent += len(payload)
 		s.SentPixels += sr.Area()
@@ -74,42 +76,37 @@ func (DirectSend) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]
 	myStrip := stripRect(full, me, p)
 	out := frame.NewImage(full.Dx(), full.Dy())
 	for _, src := range dec.DepthOrder(viewDir) {
-		var r frame.Rect
-		var pixels []frame.Pixel
+		// out accumulates front contributions first: new blocks are
+		// behind what is already composited.
 		if src == me {
-			r = localBR.Intersect(myStrip)
+			r := localBR.Intersect(myStrip)
 			if !r.Empty() {
 				timer.Start()
-				pixels = img.PackRegion(r)
+				s.Composited += out.CompositeImage(img, r, false)
 				timer.Stop()
 			}
-		} else {
-			recv, err := c.Recv(src, tagDirect)
-			if err != nil {
-				return nil, fmt.Errorf("direct: recv from %d: %w", src, err)
-			}
-			if len(recv) < frame.RectBytes {
-				return nil, fmt.Errorf("direct: short message from %d", src)
-			}
-			r = frame.GetRect(recv)
-			s.MsgsRecv++
-			s.BytesRecv += len(recv)
-			s.RecvPixels += r.Area()
-			if !r.Empty() {
-				if !myStrip.ContainsRect(r) {
-					return nil, fmt.Errorf("direct: rect %v from %d outside strip %v", r, src, myStrip)
-				}
-				if len(recv) != frame.RectBytes+r.Area()*frame.PixelBytes {
-					return nil, fmt.Errorf("direct: bad payload size from %d", src)
-				}
-				pixels = frame.UnpackPixels(recv[frame.RectBytes:], r.Area())
-			}
+			continue
 		}
+		recv, err := c.Recv(src, tagDirect)
+		if err != nil {
+			return nil, fmt.Errorf("direct: recv from %d: %w", src, err)
+		}
+		if len(recv) < frame.RectBytes {
+			return nil, fmt.Errorf("direct: short message from %d", src)
+		}
+		r := frame.GetRect(recv)
+		s.MsgsRecv++
+		s.BytesRecv += len(recv)
+		s.RecvPixels += r.Area()
 		if !r.Empty() {
+			if !myStrip.ContainsRect(r) {
+				return nil, fmt.Errorf("direct: rect %v from %d outside strip %v", r, src, myStrip)
+			}
+			if len(recv) != frame.RectBytes+r.Area()*frame.PixelBytes {
+				return nil, fmt.Errorf("direct: bad payload size from %d", src)
+			}
 			timer.Start()
-			// out accumulates front contributions first: new blocks are
-			// behind what is already composited.
-			s.Composited += out.CompositeRegion(r, pixels, false)
+			s.Composited += out.CompositeWire(r, recv[frame.RectBytes:], false)
 			timer.Stop()
 		}
 	}
@@ -144,6 +141,8 @@ func (Pipeline) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "Pipeline"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	p := c.Size()
 	full := img.Full()
 
@@ -195,7 +194,7 @@ func (Pipeline) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 			if me <= ownerPos {
 				dst = pp.front
 			}
-			stg.Composited += dst.CompositeRegion(br, img.PackRegion(br), false)
+			stg.Composited += dst.CompositeImage(img, br, false)
 		}
 		timer.Stop()
 
@@ -206,16 +205,17 @@ func (Pipeline) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 			result = pp.back
 			fb := pp.front.Bounds()
 			if !fb.Empty() {
-				result.CompositeRegion(fb, pp.front.PackRegion(fb), true)
+				result.CompositeImage(pp.front, fb, true)
 			}
 			timer.Stop()
 			myStrip = strip
 			continue
 		}
-		payload := packPartialPair(pp.front, pp.back)
+		payload := packPartialPair(pp.front, pp.back, ar.codec.Grab(2*frame.RectBytes))
 		if err := c.Send(next, tagPipe, payload); err != nil {
 			return nil, fmt.Errorf("pipeline: step %d: %w", s, err)
 		}
+		ar.codec.Retain(payload)
 		stg.MsgsSent++
 		stg.BytesSent += len(payload)
 	}
@@ -224,16 +224,15 @@ func (Pipeline) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 }
 
 // packPartialPair serializes two sparse partial images as bounding-rect
-// blocks.
-func packPartialPair(front, back *frame.Image) []byte {
-	var buf []byte
+// blocks, appending to buf.
+func packPartialPair(front, back *frame.Image, buf []byte) []byte {
 	for _, im := range []*frame.Image{front, back} {
 		br, _ := im.BoundingRect(im.Full())
 		var rb [frame.RectBytes]byte
 		frame.PutRect(rb[:], br)
 		buf = append(buf, rb[:]...)
 		if !br.Empty() {
-			buf = append(buf, frame.PackPixels(im.PackRegion(br))...)
+			buf = frame.EncodeRegion(im, br, buf)
 		}
 	}
 	return buf
@@ -254,7 +253,7 @@ func unpackPartialPair(buf []byte, front, back *frame.Image) error {
 		if len(buf) < need {
 			return fmt.Errorf("core: truncated partial body")
 		}
-		im.StoreRegion(r, frame.UnpackPixels(buf, r.Area()))
+		im.StoreWire(r, buf[:need])
 		buf = buf[need:]
 	}
 	if len(buf) != 0 {
@@ -282,6 +281,8 @@ func (BinaryTree) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BinaryTree"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	full := img.Full()
 	me := c.Rank()
 
@@ -296,7 +297,7 @@ func (BinaryTree) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]
 		c.SetStage(stageLabel(stage))
 		partner := dec.Partner(me, stage)
 		if me&(1<<(stage-1)) != 0 {
-			payload := rle.PackRuns(runs, nil)
+			payload := rle.PackRuns(runs, ar.codec.Grab(4+len(runs)*rle.RunBytes))
 			if err := c.Send(partner, tagTree, payload); err != nil {
 				return nil, fmt.Errorf("bintree: stage %d: %w", stage, err)
 			}

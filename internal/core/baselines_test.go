@@ -25,7 +25,7 @@ func sparseImage(seed int64, w, h int, density float64) *frame.Image {
 func TestPartialPairRoundTrip(t *testing.T) {
 	front := sparseImage(1, 32, 32, 0.2)
 	back := sparseImage(2, 32, 32, 0.4)
-	buf := packPartialPair(front, back)
+	buf := packPartialPair(front, back, nil)
 
 	gotF := frame.NewImage(32, 32)
 	gotB := frame.NewImage(32, 32)
@@ -42,7 +42,7 @@ func TestPartialPairRoundTrip(t *testing.T) {
 
 func TestPartialPairEmptyImages(t *testing.T) {
 	empty := frame.NewImage(16, 16)
-	buf := packPartialPair(empty, empty)
+	buf := packPartialPair(empty, empty, nil)
 	if len(buf) != 2*frame.RectBytes {
 		t.Errorf("two empty partials pack to %d bytes, want %d", len(buf), 2*frame.RectBytes)
 	}
@@ -58,7 +58,7 @@ func TestPartialPairEmptyImages(t *testing.T) {
 
 func TestUnpackPartialPairRejectsCorruption(t *testing.T) {
 	front := sparseImage(3, 16, 16, 0.5)
-	buf := packPartialPair(front, front)
+	buf := packPartialPair(front, front, nil)
 	for _, cut := range []int{0, 4, frame.RectBytes + 3, len(buf) - 5} {
 		f := frame.NewImage(16, 16)
 		bk := frame.NewImage(16, 16)

@@ -26,6 +26,8 @@ func (BS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float64,
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BS"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	region := img.Full()
 
 	for stage := 1; stage <= dec.Stages(); stage++ {
@@ -34,21 +36,21 @@ func (BS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float64,
 		partner := dec.Partner(c.Rank(), stage)
 
 		timer.Start()
-		payload := frame.PackPixels(img.PackRegion(send))
+		payload := frame.EncodeRegion(img, send, ar.codec.Grab(send.Area()*frame.PixelBytes))
 		timer.Stop()
 
 		recv, err := c.Sendrecv(partner, tagSwap, payload)
 		if err != nil {
 			return nil, fmt.Errorf("bs: stage %d: %w", stage, err)
 		}
+		ar.codec.Retain(payload)
 		if len(recv) != keep.Area()*frame.PixelBytes {
 			return nil, fmt.Errorf("bs: stage %d: got %d bytes for %d pixels",
 				stage, len(recv), keep.Area())
 		}
 
 		timer.Start()
-		pixels := frame.UnpackPixels(recv, keep.Area())
-		ops := img.CompositeRegion(keep, pixels, partnerInFront(dec, c.Rank(), stage, viewDir))
+		ops := img.CompositeWire(keep, recv, partnerInFront(dec, c.Rank(), stage, viewDir))
 		timer.Stop()
 
 		s := st.StageAt(stage)

@@ -29,6 +29,8 @@ func (BSBR) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSBR"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	region := img.Full()
 
 	timer.Start()
@@ -44,10 +46,9 @@ func (BSBR) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 		timer.Start()
 		sendBR := localBR.Intersect(send)
 		keepBR := localBR.Intersect(keep)
-		payload := make([]byte, frame.RectBytes, frame.RectBytes+sendBR.Area()*frame.PixelBytes)
-		frame.PutRect(payload, sendBR)
+		payload := ar.rect(sendBR, sendBR.Area()*frame.PixelBytes)
 		if !sendBR.Empty() {
-			payload = append(payload, frame.PackPixels(img.PackRegion(sendBR))...)
+			payload = frame.EncodeRegion(img, sendBR, payload)
 		}
 		timer.Stop()
 
@@ -55,6 +56,7 @@ func (BSBR) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 		if err != nil {
 			return nil, fmt.Errorf("bsbr: stage %d: %w", stage, err)
 		}
+		ar.codec.Retain(payload)
 		if len(recv) < frame.RectBytes {
 			return nil, fmt.Errorf("bsbr: stage %d: short message (%d bytes)", stage, len(recv))
 		}
@@ -84,8 +86,7 @@ func (BSBR) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 					stage, len(body), recvBR)
 			}
 			timer.Start()
-			pixels := frame.UnpackPixels(body, recvBR.Area())
-			s.Composited = img.CompositeRegion(recvBR, pixels,
+			s.Composited = img.CompositeWire(recvBR, body,
 				partnerInFront(dec, c.Rank(), stage, viewDir))
 			timer.Stop()
 		}

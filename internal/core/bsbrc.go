@@ -29,6 +29,8 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSBRC"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	region := img.Full()
 
 	// Algorithm step 3-4: find the local bounding rectangle once.
@@ -47,16 +49,14 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 		timer.Start()
 		sendBR := localBR.Intersect(send)
 		keepBR := localBR.Intersect(keep)
-		payload := make([]byte, frame.RectBytes, frame.RectBytes+64)
-		frame.PutRect(payload, sendBR)
+		payload := ar.rect(sendBR, 64)
 		s := st.StageAt(stage)
 		if !sendBR.Empty() {
-			seq := img.PackRegion(sendBR)
-			enc := rle.Encode(seq)
-			payload = enc.Pack(payload)
-			s.Encoded = len(seq)
-			s.Codes = len(enc.Codes)
-			s.SentPixels = len(enc.NonBlank)
+			rle.EncodeRect(img, sendBR, &ar.enc)
+			payload = ar.enc.Pack(payload)
+			s.Encoded = sendBR.Area() // every pixel of the rectangle is scanned
+			s.Codes = len(ar.enc.Codes)
+			s.SentPixels = len(ar.enc.NonBlank)
 		}
 		timer.Stop()
 
@@ -65,6 +65,7 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 		if err != nil {
 			return nil, fmt.Errorf("bsbrc: stage %d: %w", stage, err)
 		}
+		ar.codec.Retain(payload)
 		if len(recv) < frame.RectBytes {
 			return nil, fmt.Errorf("bsbrc: stage %d: short message (%d bytes)", stage, len(recv))
 		}
@@ -88,16 +89,16 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 					stage, recvBR, keep)
 			}
 			timer.Start()
-			e, rest, err := rle.Unpack(recv[frame.RectBytes:])
+			e, rest, err := rle.ParseWire(recv[frame.RectBytes:])
 			if err != nil {
 				return nil, fmt.Errorf("bsbrc: stage %d: %w", stage, err)
 			}
 			if len(rest) != 0 {
 				return nil, fmt.Errorf("bsbrc: stage %d: %d trailing bytes", stage, len(rest))
 			}
-			if e.Total != recvBR.Area() {
+			if e.Total() != recvBR.Area() {
 				return nil, fmt.Errorf("bsbrc: stage %d: encoding covers %d pixels, rect %v has %d",
-					stage, e.Total, recvBR, recvBR.Area())
+					stage, e.Total(), recvBR, recvBR.Area())
 			}
 			front := partnerInFront(dec, c.Rank(), stage, viewDir)
 			img.Grow(recvBR)
@@ -107,7 +108,7 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 			// segment once.
 			rowY := -1
 			var row []frame.Pixel
-			walkErr := e.Walk(func(seq int, p frame.Pixel) {
+			e.Walk(func(seq int, p frame.Pixel) {
 				if y := recvBR.Y0 + seq/rw; y != rowY {
 					rowY = y
 					row = img.Row(y, recvBR.X0, recvBR.X1)
@@ -120,9 +121,6 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 				composited++
 			})
 			timer.Stop()
-			if walkErr != nil {
-				return nil, fmt.Errorf("bsbrc: stage %d: %w", stage, walkErr)
-			}
 			s.Composited = composited
 		}
 

@@ -37,12 +37,15 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSBRLC"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	w := img.Full().Dx()
 	g := m.Granularity
 	if g <= 0 {
 		g = w
 	}
-	own := []Interval{{Lo: 0, Hi: img.Full().Area()}}
+	own0 := [1]Interval{{Lo: 0, Hi: img.Full().Area()}}
+	own := own0[:]
 
 	timer.Start()
 	localBR, scanned := img.BoundingRect(img.Full())
@@ -54,16 +57,17 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 		partner := dec.Partner(c.Rank(), stage)
 
 		timer.Start()
-		evens, odds := splitInterleaved(own, g)
+		pair := (stage % 2) * 2
+		evens, odds := splitInterleavedInto(own, g, ar.iv[pair][:0], ar.iv[pair+1][:0])
+		ar.iv[pair], ar.iv[pair+1] = evens, odds
 		var keep, send []Interval
 		if dec.Side(c.Rank(), dec.StageLevel(stage)) == 0 {
 			keep, send = evens, odds
 		} else {
 			keep, send = odds, evens
 		}
-		enc, encScanned := encodeIntervalsWithRect(img, w, send, localBR)
-		payload := make([]byte, frame.RectBytes, frame.RectBytes+enc.WireBytes()+16)
-		frame.PutRect(payload, localBR)
+		enc, encScanned := encodeIntervalsWithRect(img, w, send, localBR, &ar.b)
+		payload := ar.rect(localBR, enc.WireBytes()+16)
 		payload = enc.Pack(payload)
 		timer.Stop()
 
@@ -71,13 +75,14 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 		if err != nil {
 			return nil, fmt.Errorf("bsbrlc: stage %d: %w", stage, err)
 		}
+		ar.codec.Retain(payload)
 		if len(recv) < frame.RectBytes {
 			return nil, fmt.Errorf("bsbrlc: stage %d: short message (%d bytes)", stage, len(recv))
 		}
 		recvBR := frame.GetRect(recv)
 
 		timer.Start()
-		e, rest, err := rle.Unpack(recv[frame.RectBytes:])
+		e, rest, err := rle.ParseWire(recv[frame.RectBytes:])
 		if err != nil {
 			return nil, fmt.Errorf("bsbrlc: stage %d: %w", stage, err)
 		}
@@ -85,17 +90,17 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 			return nil, fmt.Errorf("bsbrlc: stage %d: %d trailing bytes", stage, len(rest))
 		}
 		keepLen := intervalsLen(keep)
-		if e.Total != keepLen {
+		if e.Total() != keepLen {
 			return nil, fmt.Errorf("bsbrlc: stage %d: encoding covers %d pixels, kept set has %d",
-				stage, e.Total, keepLen)
+				stage, e.Total(), keepLen)
 		}
 		front := partnerInFront(dec, c.Rank(), stage, viewDir)
 		growToIntervals(img, w, keep)
 		composited := 0
-		cur := newIntervalCursor(keep)
+		cur := intervalCursor{iv: keep}
 		rowY := -1
 		var row []frame.Pixel
-		walkErr := e.Walk(func(seq int, p frame.Pixel) {
+		e.Walk(func(seq int, p frame.Pixel) {
 			idx := cur.index(seq)
 			if y := idx / w; y != rowY {
 				rowY = y
@@ -109,9 +114,6 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 			composited++
 		})
 		timer.Stop()
-		if walkErr != nil {
-			return nil, fmt.Errorf("bsbrlc: stage %d: %w", stage, walkErr)
-		}
 
 		s := st.StageAt(stage)
 		s.RecvPixels = keepLen
@@ -131,16 +133,19 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 		own = keep
 	}
 	st.CompWall = timer.Total()
-	return &Result{Image: img, Own: IntervalOwn{W: w, Iv: own}, Stats: st}, nil
+	// own aliases pooled arena scratch; the Result outlives the arena.
+	return &Result{Image: img, Own: IntervalOwn{W: w, Iv: append([]Interval(nil), own...)}, Stats: st}, nil
 }
 
 // encodeIntervalsWithRect encodes the pixels of the interval set in
 // sequence order, scanning only the parts inside the bounding rectangle
 // and emitting everything outside as arithmetic blank runs. It returns
-// the encoding and the number of pixels actually scanned.
+// the encoding and the number of pixels actually scanned. The builder is
+// caller-owned scratch; the returned encoding aliases its storage and
+// must be packed before the builder's next Reset.
 func encodeIntervalsWithRect(img *frame.Image, w int, iv []Interval,
-	br frame.Rect) (rle.Encoding, int) {
-	var b rle.Builder
+	br frame.Rect, b *rle.Builder) (rle.Encoding, int) {
+	b.Reset()
 	for _, v := range iv {
 		for i := v.Lo; i < v.Hi; {
 			y := i / w

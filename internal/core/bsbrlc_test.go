@@ -40,7 +40,7 @@ func TestEncodeIntervalsWithRectMatchesDense(t *testing.T) {
 			iv = append(iv, Interval{Lo: pos + skip, Hi: pos + skip + n})
 			pos += skip + n
 		}
-		enc, scanned := encodeIntervalsWithRect(img, w, iv, br)
+		enc, scanned := encodeIntervalsWithRect(img, w, iv, br, new(rle.Builder))
 		want := rle.Encode(packIntervals(img, w, iv))
 		if enc.Total != want.Total || !reflect.DeepEqual(enc.Codes, want.Codes) ||
 			!reflect.DeepEqual(enc.NonBlank, want.NonBlank) {

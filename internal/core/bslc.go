@@ -34,37 +34,42 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSLC"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	w := img.Full().Dx()
 	g := m.Granularity
 	if g <= 0 {
 		g = w
 	}
-	own := []Interval{{Lo: 0, Hi: img.Full().Area()}}
+	own0 := [1]Interval{{Lo: 0, Hi: img.Full().Area()}}
+	own := own0[:]
 
 	for stage := 1; stage <= dec.Stages(); stage++ {
 		c.SetStage(stageLabel(stage))
 		partner := dec.Partner(c.Rank(), stage)
 
 		timer.Start()
-		evens, odds := splitInterleaved(own, g)
+		pair := (stage % 2) * 2
+		evens, odds := splitInterleavedInto(own, g, ar.iv[pair][:0], ar.iv[pair+1][:0])
+		ar.iv[pair], ar.iv[pair+1] = evens, odds
 		var keep, send []Interval
 		if dec.Side(c.Rank(), dec.StageLevel(stage)) == 0 {
 			keep, send = evens, odds
 		} else {
 			keep, send = odds, evens
 		}
-		seq := packIntervals(img, w, send)
-		enc := rle.Encode(seq)
-		payload := enc.Pack(nil)
+		encodeIntervals(img, w, send, &ar.enc)
+		payload := ar.enc.Pack(ar.codec.Grab(8 + ar.enc.WireBytes()))
 		timer.Stop()
 
 		recv, err := c.Sendrecv(partner, tagSwap, payload)
 		if err != nil {
 			return nil, fmt.Errorf("bslc: stage %d: %w", stage, err)
 		}
+		ar.codec.Retain(payload)
 
 		timer.Start()
-		e, rest, err := rle.Unpack(recv)
+		e, rest, err := rle.ParseWire(recv)
 		if err != nil {
 			return nil, fmt.Errorf("bslc: stage %d: %w", stage, err)
 		}
@@ -72,20 +77,20 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 			return nil, fmt.Errorf("bslc: stage %d: %d trailing bytes", stage, len(rest))
 		}
 		keepLen := intervalsLen(keep)
-		if e.Total != keepLen {
+		if e.Total() != keepLen {
 			return nil, fmt.Errorf("bslc: stage %d: encoding covers %d pixels, kept set has %d",
-				stage, e.Total, keepLen)
+				stage, e.Total(), keepLen)
 		}
 		front := partnerInFront(dec, c.Rank(), stage, viewDir)
 		growToIntervals(img, w, keep)
 		composited := 0
-		cur := newIntervalCursor(keep)
+		cur := intervalCursor{iv: keep}
 		// The walk visits ascending positions; grab each scanline once
 		// (growToIntervals guaranteed full-width storage for every
 		// touched row).
 		rowY := -1
 		var row []frame.Pixel
-		walkErr := e.Walk(func(seq int, p frame.Pixel) {
+		e.Walk(func(seq int, p frame.Pixel) {
 			idx := cur.index(seq)
 			if y := idx / w; y != rowY {
 				rowY = y
@@ -99,16 +104,13 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 			composited++
 		})
 		timer.Stop()
-		if walkErr != nil {
-			return nil, fmt.Errorf("bslc: stage %d: %w", stage, walkErr)
-		}
 
 		s := st.StageAt(stage)
 		s.RecvPixels = keepLen
 		s.Composited = composited
-		s.Encoded = len(seq)
-		s.Codes = len(enc.Codes)
-		s.SentPixels = len(enc.NonBlank)
+		s.Encoded = intervalsLen(send) // every pixel of the sent set is scanned
+		s.Codes = len(ar.enc.Codes)
+		s.SentPixels = len(ar.enc.NonBlank)
 		s.BytesSent = len(payload)
 		s.BytesRecv = len(recv)
 		s.MsgsSent, s.MsgsRecv = 1, 1
@@ -116,7 +118,8 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 		own = keep
 	}
 	st.CompWall = timer.Total()
-	return &Result{Image: img, Own: IntervalOwn{W: w, Iv: own}, Stats: st}, nil
+	// own aliases pooled arena scratch; the Result outlives the arena.
+	return &Result{Image: img, Own: IntervalOwn{W: w, Iv: append([]Interval(nil), own...)}, Stats: st}, nil
 }
 
 // splitInterleaved walks the concatenated pixel sequence described by
@@ -125,6 +128,13 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 // Both partners hold identical interval lists at the start of a stage, so
 // they derive complementary halves without communicating.
 func splitInterleaved(iv []Interval, g int) (evens, odds []Interval) {
+	return splitInterleavedInto(iv, g, nil, nil)
+}
+
+// splitInterleavedInto is splitInterleaved appending into caller-owned
+// scratch. The destinations must not alias iv: the split reads iv while
+// writing them.
+func splitInterleavedInto(iv []Interval, g int, evens, odds []Interval) ([]Interval, []Interval) {
 	appendMerged := func(dst []Interval, lo, hi int) []Interval {
 		if n := len(dst); n > 0 && dst[n-1].Hi == lo {
 			dst[n-1].Hi = hi
@@ -197,6 +207,45 @@ func packIntervals(img *frame.Image, w int, iv []Interval) []frame.Pixel {
 		}
 	}
 	return out
+}
+
+// encodeIntervals encodes the pixels of the interval set in sequence
+// order into e, reusing its storage — the fused equivalent of
+// rle.Encode(packIntervals(img, w, iv)), bit-identical by construction:
+// stretches without storage become arithmetic blank runs instead of
+// materialized blank pixels.
+func encodeIntervals(img *frame.Image, w int, iv []Interval, e *rle.Encoding) {
+	var se rle.SeqEncoder
+	se.Start(e)
+	bounds := img.Bounds()
+	for _, v := range iv {
+		for i := v.Lo; i < v.Hi; {
+			y := i / w
+			x0 := i % w
+			x1 := w // end of this row segment, clipped to the interval
+			if rowEnd := v.Hi - y*w; rowEnd < x1 {
+				x1 = rowEnd
+			}
+			seg := x1 - x0
+			// Clip the segment to the stored bounds; flanks are blank.
+			cx0, cx1 := x0, x1
+			if cx0 < bounds.X0 {
+				cx0 = bounds.X0
+			}
+			if cx1 > bounds.X1 {
+				cx1 = bounds.X1
+			}
+			if y < bounds.Y0 || y >= bounds.Y1 || cx0 >= cx1 {
+				se.Blank(seg)
+			} else {
+				se.Blank(cx0 - x0)
+				se.Pixels(img.Row(y, cx0, cx1))
+				se.Blank(x1 - cx1)
+			}
+			i += seg
+		}
+	}
+	se.Finish()
 }
 
 // growToIntervals pre-grows the image to the bounding box of the interval

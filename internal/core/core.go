@@ -50,8 +50,23 @@ type Result struct {
 	Stats *stats.Rank
 }
 
-// stageLabel names a compositing stage in the message log.
-func stageLabel(k int) string { return fmt.Sprintf("stage%d", k) }
+// stageLabel names a compositing stage in the message log. Labels for
+// the stage counts any practical world produces (up to 2^32 ranks) are
+// precomputed: the label is set once per stage per rank per frame, and
+// formatting it was the hottest allocation site in the composite loop.
+func stageLabel(k int) string {
+	if k >= 1 && k <= len(stageLabels) {
+		return stageLabels[k-1]
+	}
+	return fmt.Sprintf("stage%d", k)
+}
+
+var stageLabels = [32]string{
+	"stage1", "stage2", "stage3", "stage4", "stage5", "stage6", "stage7", "stage8",
+	"stage9", "stage10", "stage11", "stage12", "stage13", "stage14", "stage15", "stage16",
+	"stage17", "stage18", "stage19", "stage20", "stage21", "stage22", "stage23", "stage24",
+	"stage25", "stage26", "stage27", "stage28", "stage29", "stage30", "stage31", "stage32",
+}
 
 // stageHalves splits the region owned at the start of a stage along the
 // stage's alternating centerline (horizontal first) and returns the half

@@ -54,16 +54,17 @@ func (f *Folded) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]f
 	if f.Plan.IsExtra(me) {
 		st := &stats.Rank{RankID: me, Method: f.Name()}
 		var timer stats.Timer
+		ar := getArena()
+		defer putArena(ar)
 		timer.Start()
 		br, scanned := img.BoundingRect(full)
-		payload := make([]byte, frame.RectBytes, frame.RectBytes+64)
-		frame.PutRect(payload, br)
+		payload := ar.rect(br, 64)
 		if !br.Empty() {
-			enc := rle.Encode(img.PackRegion(br))
-			payload = enc.Pack(payload)
+			rle.EncodeRect(img, br, &ar.enc)
+			payload = ar.enc.Pack(payload)
 			st.Fold.Encoded = br.Area()
-			st.Fold.Codes = len(enc.Codes)
-			st.Fold.SentPixels = len(enc.NonBlank)
+			st.Fold.Codes = len(ar.enc.Codes)
+			st.Fold.SentPixels = len(ar.enc.NonBlank)
 		}
 		timer.Stop()
 		st.BoundScan = scanned
@@ -95,24 +96,33 @@ func (f *Folded) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]f
 		fold.RecvPixels = br.Area()
 		if !br.Empty() {
 			foldTimer.Start()
-			enc, rest, err := rle.Unpack(recv[frame.RectBytes:])
+			enc, rest, err := rle.ParseWire(recv[frame.RectBytes:])
 			if err != nil {
 				return nil, fmt.Errorf("fold: from %d: %w", e, err)
 			}
-			if len(rest) != 0 || enc.Total != br.Area() {
+			if len(rest) != 0 || enc.Total() != br.Area() {
 				return nil, fmt.Errorf("fold: malformed payload from %d", e)
 			}
 			front := f.Plan.ExtraInFront(me, viewDir)
 			img.Grow(br)
 			w := br.Dx()
-			walkErr := enc.Walk(func(seq int, p frame.Pixel) {
-				img.CompositePixel(br.X0+seq%w, br.Y0+seq/w, p, front)
+			// Positions arrive in row-major order; fetch each scanline
+			// segment once.
+			rowY := -1
+			var row []frame.Pixel
+			enc.Walk(func(seq int, p frame.Pixel) {
+				if y := br.Y0 + seq/w; y != rowY {
+					rowY = y
+					row = img.Row(y, br.X0, br.X1)
+				}
+				if front {
+					frame.OverInto(p, &row[seq%w])
+				} else {
+					row[seq%w] = frame.Over(row[seq%w], p)
+				}
 				fold.Composited++
 			})
 			foldTimer.Stop()
-			if walkErr != nil {
-				return nil, fmt.Errorf("fold: from %d: %w", e, walkErr)
-			}
 		}
 	}
 

@@ -41,7 +41,7 @@ func FuzzParseOwnership(f *testing.F) {
 func FuzzCompositeForwarded(f *testing.F) {
 	img := frame.NewImage(16, 16)
 	img.Set(2, 3, frame.Pixel{I: 1, A: 1})
-	f.Add(packForwarded(img, img.Full()))
+	f.Add(packForwarded(img, img.Full(), nil))
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{1, 0, 0, 0, 5, 0, 5, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {

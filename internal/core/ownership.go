@@ -19,6 +19,12 @@ type Ownership interface {
 	Pack(img *frame.Image) []frame.Pixel
 	// Unpack stores packed pixels into img in the same order.
 	Unpack(img *frame.Image, px []frame.Pixel) error
+	// AppendPixels appends the owned pixels' wire bytes in the same
+	// canonical order as Pack, without materializing a pixel slice.
+	AppendPixels(img *frame.Image, buf []byte) []byte
+	// StoreWire writes Area()*frame.PixelBytes wire bytes into img in
+	// the same order, the fused equivalent of Unpack(UnpackPixels(...)).
+	StoreWire(img *frame.Image, wire []byte) error
 	// AppendWire serializes the descriptor (self-describing, for the
 	// final gather).
 	AppendWire(buf []byte) []byte
@@ -50,6 +56,21 @@ func (o RectOwn) Unpack(img *frame.Image, px []frame.Pixel) error {
 		return fmt.Errorf("core: %d pixels for rect %v (want %d)", len(px), o.R, o.R.Area())
 	}
 	img.StoreRegion(o.R, px)
+	return nil
+}
+
+// AppendPixels implements Ownership.
+func (o RectOwn) AppendPixels(img *frame.Image, buf []byte) []byte {
+	return frame.EncodeRegion(img, o.R, buf)
+}
+
+// StoreWire implements Ownership.
+func (o RectOwn) StoreWire(img *frame.Image, wire []byte) error {
+	if len(wire) != o.R.Area()*frame.PixelBytes {
+		return fmt.Errorf("core: %d wire bytes for rect %v (want %d)",
+			len(wire), o.R, o.R.Area()*frame.PixelBytes)
+	}
+	img.StoreWire(o.R, wire)
 	return nil
 }
 
@@ -114,6 +135,36 @@ func (o IntervalOwn) Unpack(img *frame.Image, px []frame.Pixel) error {
 		for i := iv.Lo; i < iv.Hi; i++ {
 			if !px[k].Blank() {
 				img.Set(i%o.W, i/o.W, px[k])
+			}
+			k++
+		}
+	}
+	return nil
+}
+
+// AppendPixels implements Ownership.
+func (o IntervalOwn) AppendPixels(img *frame.Image, buf []byte) []byte {
+	var px [frame.PixelBytes]byte
+	for _, iv := range o.Iv {
+		for i := iv.Lo; i < iv.Hi; i++ {
+			frame.PutPixel(px[:], img.At(i%o.W, i/o.W))
+			buf = append(buf, px[:]...)
+		}
+	}
+	return buf
+}
+
+// StoreWire implements Ownership.
+func (o IntervalOwn) StoreWire(img *frame.Image, wire []byte) error {
+	if len(wire) != o.Area()*frame.PixelBytes {
+		return fmt.Errorf("core: %d wire bytes for interval set of %d pixels",
+			len(wire), o.Area())
+	}
+	k := 0
+	for _, iv := range o.Iv {
+		for i := iv.Lo; i < iv.Hi; i++ {
+			if p := frame.GetPixel(wire[k*frame.PixelBytes:]); !p.Blank() {
+				img.Set(i%o.W, i/o.W, p)
 			}
 			k++
 		}
@@ -193,7 +244,7 @@ func ParseOwnership(buf []byte) (Ownership, []byte, error) {
 // needs no knowledge of the compositor that produced the distribution.
 func GatherImage(c mp.Comm, root int, res *Result) (*frame.Image, error) {
 	payload := res.Own.AppendWire(nil)
-	payload = append(payload, frame.PackPixels(res.Own.Pack(res.Image))...)
+	payload = res.Own.AppendPixels(res.Image, payload)
 	parts, err := c.Gather(root, payload)
 	if err != nil {
 		return nil, err
@@ -214,7 +265,7 @@ func GatherImage(c mp.Comm, root int, res *Result) (*frame.Image, error) {
 			return nil, fmt.Errorf("core: gather from rank %d: %d payload bytes for %d pixels",
 				r, len(rest), own.Area())
 		}
-		if err := own.Unpack(final, frame.UnpackPixels(rest, own.Area())); err != nil {
+		if err := own.StoreWire(final, rest); err != nil {
 			return nil, fmt.Errorf("core: gather from rank %d: %w", r, err)
 		}
 	}

@@ -25,7 +25,7 @@ func CompositeSequential(imgs []*frame.Image, dec *partition.Decomposition,
 		}
 		// out holds everything nearer the viewer, so the next rank's
 		// pixels go behind it.
-		out.CompositeRegion(b, img.PackRegion(b), false)
+		out.CompositeImage(img, b, false)
 	}
 	return out
 }
@@ -45,7 +45,7 @@ func CompositeSequentialFold(imgs []*frame.Image, plan *partition.FoldPlan,
 		if b.Empty() {
 			continue
 		}
-		out.CompositeRegion(b, img.PackRegion(b), false)
+		out.CompositeImage(img, b, false)
 	}
 	return out
 }

@@ -45,6 +45,8 @@ func (BSDPF) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSDPF"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	region := img.Full()
 
 	for stage := 1; stage <= dec.Stages(); stage++ {
@@ -53,13 +55,14 @@ func (BSDPF) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 		partner := dec.Partner(c.Rank(), stage)
 
 		timer.Start()
-		payload := packForwarded(img, send)
+		payload := packForwarded(img, send, ar.codec.Grab(4+256))
 		timer.Stop()
 
 		recv, err := c.Sendrecv(partner, tagSwap, payload)
 		if err != nil {
 			return nil, fmt.Errorf("bsdpf: stage %d: %w", stage, err)
 		}
+		ar.codec.Retain(payload)
 
 		timer.Start()
 		composited, err := compositeForwarded(img, keep, recv,
@@ -84,9 +87,9 @@ func (BSDPF) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 }
 
 // packForwarded scans region and emits count + (x, y, pixel) tuples for
-// every non-blank pixel.
-func packForwarded(img *frame.Image, region frame.Rect) []byte {
-	buf := make([]byte, 4, 4+256)
+// every non-blank pixel, building the message in buf's storage.
+func packForwarded(img *frame.Image, region frame.Rect, buf []byte) []byte {
+	buf = append(buf, 0, 0, 0, 0)
 	n := 0
 	scan := region.Intersect(img.Bounds())
 	var px [frame.PixelBytes]byte
@@ -130,6 +133,41 @@ func compositeForwarded(img *frame.Image, keep frame.Rect, buf []byte, front boo
 	return n, nil
 }
 
+// compositeRunsRect composites value-encoded runs covering region (in
+// row-major order) directly into img, skipping blank runs arithmetically
+// — the fused equivalent of CompositeRegion(region, DecodeValues(runs),
+// front). It returns the number of over operations.
+func compositeRunsRect(img *frame.Image, region frame.Rect, runs []rle.Run, front bool) int {
+	img.Grow(region)
+	w := region.Dx()
+	ops := 0
+	idx := 0
+	rowY := -1
+	var row []frame.Pixel
+	for _, r := range runs {
+		n := int(r.Count)
+		if r.Value.Blank() {
+			idx += n
+			continue
+		}
+		for k := 0; k < n; k++ {
+			i := idx + k
+			if y := region.Y0 + i/w; y != rowY {
+				rowY = y
+				row = img.Row(y, region.X0, region.X1)
+			}
+			if front {
+				frame.OverInto(r.Value, &row[i%w])
+			} else {
+				row[i%w] = frame.Over(row[i%w], r.Value)
+			}
+			ops++
+		}
+		idx += n
+	}
+	return ops
+}
+
 // BSVC is binary-swap with Ahrens–Painter value-coding.
 type BSVC struct{}
 
@@ -144,6 +182,8 @@ func (BSVC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSVC"}
 	var timer stats.Timer
+	ar := getArena()
+	defer putArena(ar)
 	region := img.Full()
 
 	for stage := 1; stage <= dec.Stages(); stage++ {
@@ -152,14 +192,16 @@ func (BSVC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 		partner := dec.Partner(c.Rank(), stage)
 
 		timer.Start()
-		runs := rle.EncodeValues(img.PackRegion(send))
-		payload := rle.PackRuns(runs, nil)
+		ar.runs = rle.EncodeValuesRect(img, send, ar.runs)
+		runs := ar.runs
+		payload := rle.PackRuns(runs, ar.codec.Grab(4+len(runs)*rle.RunBytes))
 		timer.Stop()
 
 		recv, err := c.Sendrecv(partner, tagSwap, payload)
 		if err != nil {
 			return nil, fmt.Errorf("bsvc: stage %d: %w", stage, err)
 		}
+		ar.codec.Retain(payload)
 
 		timer.Start()
 		theirs, rest, err := rle.UnpackRuns(recv)
@@ -174,7 +216,7 @@ func (BSVC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 				stage, rle.RunsLen(theirs), keep.Area())
 		}
 		front := partnerInFront(dec, c.Rank(), stage, viewDir)
-		composited := img.CompositeRegion(keep, rle.DecodeValues(theirs), front)
+		composited := compositeRunsRect(img, keep, theirs, front)
 		timer.Stop()
 
 		s := st.StageAt(stage)

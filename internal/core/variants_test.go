@@ -17,7 +17,7 @@ func TestPackForwardedRoundTrip(t *testing.T) {
 	img.Set(10, 12, frame.Pixel{I: 0.25, A: 0.5})
 	img.Set(0, 0, frame.Pixel{I: 1, A: 1})
 	region := frame.XYWH(0, 0, 16, 16)
-	buf := packForwarded(img, region)
+	buf := packForwarded(img, region, nil)
 	if n := binary.LittleEndian.Uint32(buf); n != 3 {
 		t.Fatalf("forwarded %d pixels, want 3", n)
 	}
@@ -41,7 +41,7 @@ func TestPackForwardedSkipsBlanksAndClips(t *testing.T) {
 	img.Set(2, 2, frame.Pixel{I: 1, A: 1})
 	img.Set(9, 9, frame.Pixel{I: 1, A: 1})
 	// Region covering only the first pixel.
-	buf := packForwarded(img, frame.XYWH(0, 0, 8, 8))
+	buf := packForwarded(img, frame.XYWH(0, 0, 8, 8), nil)
 	if n := binary.LittleEndian.Uint32(buf); n != 1 {
 		t.Errorf("forwarded %d pixels, want 1", n)
 	}
@@ -56,7 +56,7 @@ func TestCompositeForwardedRejectsCorruption(t *testing.T) {
 	// Count says 2 but only one tuple present.
 	src := frame.NewImage(8, 8)
 	src.Set(1, 1, frame.Pixel{I: 1, A: 1})
-	buf := packForwarded(src, keep)
+	buf := packForwarded(src, keep, nil)
 	binary.LittleEndian.PutUint32(buf[:4], 2)
 	if _, err := compositeForwarded(img, keep, buf, true); err == nil {
 		t.Error("count/body mismatch accepted")
@@ -75,7 +75,7 @@ func TestForwardedWireCost(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		img.Set(i, i, frame.Pixel{I: 1, A: 1})
 	}
-	buf := packForwarded(img, img.Full())
+	buf := packForwarded(img, img.Full(), nil)
 	if len(buf) != 4+10*dpfPixelBytes {
 		t.Errorf("wire size %d, want %d", len(buf), 4+10*dpfPixelBytes)
 	}

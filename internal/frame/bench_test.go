@@ -68,3 +68,66 @@ func BenchmarkPackUnpackPixels(b *testing.B) {
 		UnpackPixels(buf, len(pixels))
 	}
 }
+
+// BenchmarkSetGrowth is the regression guard for incremental Set growth:
+// scattering pixels one by one across a frame must reallocate storage
+// O(log n) times (geometric over-allocation), not once per Set.
+func BenchmarkSetGrowth(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	pts := make([][2]int, 4096)
+	for i := range pts {
+		pts[i] = [2]int{r.Intn(384), r.Intn(384)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im := NewImage(384, 384)
+		for _, p := range pts {
+			im.Set(p[0], p[1], Pixel{I: 0.5, A: 0.5})
+		}
+	}
+}
+
+// BenchmarkEncodeRegion compares one fused encode against the unfused
+// PackRegion+PackPixels pair it replaces.
+func BenchmarkEncodeRegion(b *testing.B) {
+	im := benchImage(0.5, 384, 192)
+	region := im.Full()
+	b.SetBytes(int64(region.Area() * PixelBytes))
+	b.Run("fused", func(b *testing.B) {
+		var c Codec
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := EncodeRegion(im, region, c.Grab(region.Area()*PixelBytes))
+			c.Retain(buf)
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			PackPixels(im.PackRegion(region))
+		}
+	})
+}
+
+// BenchmarkCompositeWire compares compositing straight from wire bytes
+// against the UnpackPixels+CompositeRegion pair it replaces.
+func BenchmarkCompositeWire(b *testing.B) {
+	src := benchImage(0.3, 384, 192)
+	region := src.Full()
+	wire := EncodeRegion(src, region, nil)
+	dst := benchImage(0.3, 384, 192)
+	b.SetBytes(int64(len(wire)))
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.CompositeWire(region, wire, true)
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst.CompositeRegion(region, UnpackPixels(wire, region.Area()), true)
+		}
+	})
+}

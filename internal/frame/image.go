@@ -13,7 +13,14 @@ import "fmt"
 type Image struct {
 	full   Rect
 	bounds Rect
-	pix    []Pixel // row-major over bounds; len == bounds.Area()
+	// store is the rectangle actually backed by pix; it always contains
+	// bounds. Keeping storage larger than the logical bounds lets Grow
+	// over-allocate geometrically (so incremental Set calls are amortized
+	// O(1) instead of O(n) each) without changing what Bounds reports —
+	// several wire-format producers size messages from Bounds, so the
+	// logical rectangle must stay the exact union of grown regions.
+	store Rect
+	pix   []Pixel // row-major over store; len == store.Area()
 }
 
 // NewImage returns an image with a full frame of w x h pixels and no
@@ -34,6 +41,7 @@ func NewImageBounds(w, h int, bounds Rect) *Image {
 		panic(fmt.Sprintf("frame: bounds %v outside full frame %v", bounds, im.full))
 	}
 	im.bounds = bounds
+	im.store = bounds
 	im.pix = make([]Pixel, bounds.Area())
 	return im
 }
@@ -41,7 +49,8 @@ func NewImageBounds(w, h int, bounds Rect) *Image {
 // Full returns the full-frame rectangle.
 func (im *Image) Full() Rect { return im.full }
 
-// Bounds returns the rectangle over which pixel storage is allocated.
+// Bounds returns the rectangle over which pixels may be non-blank: the
+// exact union of every region grown so far (explicitly or via Set).
 func (im *Image) Bounds() Rect { return im.bounds }
 
 // Width and Height return the full-frame dimensions.
@@ -50,7 +59,7 @@ func (im *Image) Height() int { return im.full.Dy() }
 
 // index returns the storage index of (x, y), which must be in bounds.
 func (im *Image) index(x, y int) int {
-	return (y-im.bounds.Y0)*im.bounds.Dx() + (x - im.bounds.X0)
+	return (y-im.store.Y0)*im.store.Dx() + (x - im.store.X0)
 }
 
 // At returns the pixel at (x, y). Pixels outside the allocated bounds are
@@ -73,26 +82,79 @@ func (im *Image) Set(x, y int, p Pixel) {
 	im.pix[im.index(x, y)] = p
 }
 
-// Grow extends the allocated bounds to cover r (intersected with the full
+// Grow extends the logical bounds to cover r (intersected with the full
 // frame), preserving existing pixel contents. Growing to an already
-// covered rectangle is a no-op.
+// covered rectangle is a no-op. When new storage must be allocated it is
+// over-allocated geometrically (padded by half the needed dimensions,
+// clipped to the full frame), so a sequence of one-pixel Sets marching
+// across the frame costs amortized O(1) per pixel instead of a full
+// reallocation-and-copy each — Bounds still reports the exact union.
 func (im *Image) Grow(r Rect) {
 	r = r.Intersect(im.full)
 	if im.bounds.ContainsRect(r) {
 		return
 	}
 	nb := im.bounds.Union(r)
+	if im.store.ContainsRect(nb) {
+		// Storage already covers the new bounds; pixels between the old
+		// and new bounds are untouched since allocation, hence blank.
+		im.bounds = nb
+		return
+	}
+	// Pad the needed rectangle by half its extent (at least growPad) on
+	// every side so each reallocation at least doubles the dimensions.
+	pad := func(d int) int { return d/2 + growPad }
+	ns := Rect{
+		X0: nb.X0 - pad(nb.Dx()), Y0: nb.Y0 - pad(nb.Dy()),
+		X1: nb.X1 + pad(nb.Dx()), Y1: nb.Y1 + pad(nb.Dy()),
+	}.Intersect(im.full)
+	np := make([]Pixel, ns.Area())
+	if !im.bounds.Empty() {
+		w := im.bounds.Dx()
+		sw := im.store.Dx()
+		nw := ns.Dx()
+		for y := im.bounds.Y0; y < im.bounds.Y1; y++ {
+			srcOff := (y-im.store.Y0)*sw + (im.bounds.X0 - im.store.X0)
+			dstOff := (y-ns.Y0)*nw + (im.bounds.X0 - ns.X0)
+			copy(np[dstOff:dstOff+w], im.pix[srcOff:srcOff+w])
+		}
+	}
+	im.bounds = nb
+	im.store = ns
+	im.pix = np
+}
+
+// growPad is the minimum per-side storage padding a reallocating Grow
+// adds, so that repeated single-pixel growth still reallocates only
+// geometrically often.
+const growPad = 8
+
+// GrowExact extends the logical bounds to cover r exactly like Grow but
+// without storage over-allocation, for callers that know the final
+// footprint up front and do not want the padding memory.
+func (im *Image) GrowExact(r Rect) {
+	r = r.Intersect(im.full)
+	if im.bounds.ContainsRect(r) {
+		return
+	}
+	nb := im.bounds.Union(r)
+	if im.store.ContainsRect(nb) {
+		im.bounds = nb
+		return
+	}
 	np := make([]Pixel, nb.Area())
 	if !im.bounds.Empty() {
 		w := im.bounds.Dx()
+		sw := im.store.Dx()
 		nw := nb.Dx()
 		for y := im.bounds.Y0; y < im.bounds.Y1; y++ {
-			srcOff := (y - im.bounds.Y0) * w
+			srcOff := (y-im.store.Y0)*sw + (im.bounds.X0 - im.store.X0)
 			dstOff := (y-nb.Y0)*nw + (im.bounds.X0 - nb.X0)
 			copy(np[dstOff:dstOff+w], im.pix[srcOff:srcOff+w])
 		}
 	}
 	im.bounds = nb
+	im.store = nb
 	im.pix = np
 }
 
@@ -124,12 +186,35 @@ func (im *Image) Clear() {
 	}
 }
 
-// Clone returns a deep copy of the image.
+// Clone returns a deep copy of the image. Storage is compacted to the
+// logical bounds, dropping any over-allocation padding.
 func (im *Image) Clone() *Image {
-	cp := &Image{full: im.full, bounds: im.bounds}
-	cp.pix = make([]Pixel, len(im.pix))
-	copy(cp.pix, im.pix)
+	cp := &Image{full: im.full, bounds: im.bounds, store: im.bounds}
+	cp.pix = make([]Pixel, im.bounds.Area())
+	w := im.bounds.Dx()
+	for y := im.bounds.Y0; y < im.bounds.Y1; y++ {
+		copy(cp.pix[(y-im.bounds.Y0)*w:(y-im.bounds.Y0)*w+w], im.Row(y, im.bounds.X0, im.bounds.X1))
+	}
 	return cp
+}
+
+// CopyFrom makes im an exact logical copy of src, reusing im's pixel
+// storage when it is large enough. The retained store keeps covering its
+// old (possibly larger) rectangle, so a working image that is restored
+// from a pristine source and re-grown every frame stops reallocating
+// after the first one.
+func (im *Image) CopyFrom(src *Image) {
+	im.full = src.full
+	if im.store.ContainsRect(src.bounds) && src.full.ContainsRect(im.store) {
+		clear(im.pix)
+	} else {
+		im.store = src.bounds
+		im.pix = make([]Pixel, im.store.Area())
+	}
+	im.bounds = src.bounds
+	for y := src.bounds.Y0; y < src.bounds.Y1; y++ {
+		copy(im.Row(y, src.bounds.X0, src.bounds.X1), src.Row(y, src.bounds.X0, src.bounds.X1))
+	}
 }
 
 // BoundingRect scans region (clipped to the frame) and returns the

@@ -374,9 +374,9 @@ func validateAgainstSequential(c mp.Comm, comp core.Compositor,
 	dec *partition.Decomposition, viewDir [3]float64,
 	pristine, final *frame.Image) (float64, error) {
 	b := pristine.Bounds()
-	payload := make([]byte, frame.RectBytes)
+	payload := make([]byte, frame.RectBytes, frame.RectBytes+b.Area()*frame.PixelBytes)
 	frame.PutRect(payload, b)
-	payload = append(payload, frame.PackPixels(pristine.PackRegion(b))...)
+	payload = frame.EncodeRegion(pristine, b, payload)
 	parts, err := c.Gather(0, payload)
 	if err != nil {
 		return 0, err
@@ -393,7 +393,10 @@ func validateAgainstSequential(c mp.Comm, comp core.Compositor,
 		rb := frame.GetRect(part)
 		img := frame.NewImage(full.Dx(), full.Dy())
 		if !rb.Empty() {
-			img.StoreRegion(rb, frame.UnpackPixels(part[frame.RectBytes:], rb.Area()))
+			if len(part) != frame.RectBytes+rb.Area()*frame.PixelBytes {
+				return 0, fmt.Errorf("harness: validate: bad subimage size from rank %d", r)
+			}
+			img.StoreWire(rb, part[frame.RectBytes:])
 		}
 		imgs[r] = img
 	}

@@ -62,3 +62,37 @@ func BenchmarkGather(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkWorldSetup measures the fixed allocation cost of building and
+// joining an 8-rank world with no traffic.
+func BenchmarkWorldSetup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Run(8, testOpts(), func(c Comm) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSendrecvAllocs measures the per-message allocation cost of the
+// binary-swap exchange pattern over a persistent world: the required
+// payload copy plus queue/log bookkeeping, with mailbox storage and the
+// deadline watchdog reused across rounds.
+func BenchmarkSendrecvAllocs(b *testing.B) {
+	const p = 8
+	payload := make([]byte, 1<<16)
+	b.ReportAllocs()
+	err := Run(p, testOpts(), func(c Comm) error {
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < 3; s++ {
+				if _, err := c.Sendrecv(c.Rank()^(1<<s), 7, payload); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

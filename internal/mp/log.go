@@ -43,6 +43,11 @@ func (l *MsgLog) record(dir Dir, peer, tag, bytes int, stage string) {
 	if l == nil || l.internalDepth > 0 {
 		return
 	}
+	if l.Entries == nil {
+		// One rank typically logs a few entries per compositing stage;
+		// start with room for a whole run instead of growing 1-2-4-8.
+		l.Entries = make([]LogEntry, 0, 16)
+	}
 	l.Entries = append(l.Entries, LogEntry{Dir: dir, Peer: peer, Tag: tag, Bytes: bytes, Stage: stage})
 }
 

@@ -30,7 +30,7 @@ func FromTransport(rank, size int, tr Transport, opts Options) (Comm, error) {
 	if err := checkPeer(rank, size); err != nil {
 		return nil, err
 	}
-	return &comm{rank: rank, size: size, tr: tr, opts: opts, log: &MsgLog{}}, nil
+	return &comm{rank: rank, size: size, tr: tr, opts: opts}, nil
 }
 
 // rawComm is the narrow surface the collective algorithms need; raw
@@ -51,13 +51,13 @@ type comm struct {
 	tr    Transport
 	opts  Options
 	stage string
-	log   *MsgLog
+	log   MsgLog
 }
 
 func (c *comm) Rank() int             { return c.rank }
 func (c *comm) Size() int             { return c.size }
 func (c *comm) SetStage(stage string) { c.stage = stage }
-func (c *comm) Log() *MsgLog          { return c.log }
+func (c *comm) Log() *MsgLog          { return &c.log }
 
 func (c *comm) Send(to, tag int, payload []byte) error {
 	if err := checkPeer(to, c.size); err != nil {

@@ -11,7 +11,8 @@ import (
 type World struct {
 	size  int
 	opts  Options
-	boxes []*Mailbox
+	boxes []Mailbox
+	trs   []chanTransport
 }
 
 func errSize(p int) error {
@@ -23,9 +24,10 @@ func NewWorld(p int, opts Options) (*World, error) {
 	if p <= 0 {
 		return nil, errSize(p)
 	}
-	w := &World{size: p, opts: opts, boxes: make([]*Mailbox, p)}
+	w := &World{size: p, opts: opts, boxes: make([]Mailbox, p), trs: make([]chanTransport, p)}
 	for i := range w.boxes {
-		w.boxes[i] = NewMailbox()
+		w.boxes[i].init()
+		w.trs[i] = chanTransport{world: w, rank: i}
 	}
 	return w, nil
 }
@@ -33,6 +35,9 @@ func NewWorld(p int, opts Options) (*World, error) {
 // Comm returns rank r's endpoint. Each endpoint must be used by a single
 // goroutine.
 func (w *World) Comm(r int) (Comm, error) {
+	if err := checkPeer(r, w.size); err != nil {
+		return nil, err
+	}
 	return FromTransport(r, w.size, w.Transport(r), w.opts)
 }
 
@@ -40,7 +45,7 @@ func (w *World) Comm(r int) (Comm, error) {
 // (e.g. fault-injection tests) before building a Comm with
 // FromTransport.
 func (w *World) Transport(r int) Transport {
-	return &chanTransport{world: w, rank: r}
+	return &w.trs[r]
 }
 
 // chanTransport is the in-process Transport: Send drops a copied payload
@@ -59,6 +64,12 @@ func (t *chanTransport) Send(to, tag int, payload []byte) error {
 // Recv implements Transport.
 func (t *chanTransport) Recv(from, tag int, timeout time.Duration) ([]byte, error) {
 	return t.world.boxes[t.rank].Get(from, tag, timeout)
+}
+
+func (w *World) closeAll() {
+	for i := range w.boxes {
+		w.boxes[i].Close()
+	}
 }
 
 // Run spawns fn on every rank of a fresh world and waits for all ranks to
@@ -116,12 +127,6 @@ func RunCollect[T any](p int, opts Options, fn func(c Comm) (T, error)) ([]T, er
 	return out, err
 }
 
-func (w *World) closeAll() {
-	for _, b := range w.boxes {
-		b.Close()
-	}
-}
-
 type msgKey struct {
 	src, tag int
 }
@@ -131,17 +136,39 @@ type msgKey struct {
 // transport in internal/mpnet) can reuse the matching semantics.
 type Mailbox struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
-	queues  map[msgKey][][]byte
+	cond    sync.Cond
+	queues  map[msgKey]*msgQueue
 	closed  bool
 	deadSrc map[int]bool
+
+	// Deadline watchdog, created once and re-armed per blocking Get (the
+	// mailbox has a single consumer, so at most one Get blocks at a time).
+	// gen invalidates late fires from a previous arming: the callback only
+	// flags expiry when its arming is still the current one.
+	timer   *time.Timer
+	gen     int
+	armGen  int
+	expired bool
+}
+
+// msgQueue is one (source, tag) FIFO channel. head indexes the next
+// undelivered message; the slice is compacted and reused once drained, so
+// a steady send/receive exchange allocates no queue storage.
+type msgQueue struct {
+	msgs [][]byte
+	head int
 }
 
 // NewMailbox returns an empty mailbox.
 func NewMailbox() *Mailbox {
-	b := &Mailbox{queues: make(map[msgKey][][]byte), deadSrc: make(map[int]bool)}
-	b.cond = sync.NewCond(&b.mu)
+	b := &Mailbox{}
+	b.init()
 	return b
+}
+
+func (b *Mailbox) init() {
+	b.queues = make(map[msgKey]*msgQueue)
+	b.cond.L = &b.mu
 }
 
 // FailSource marks one sender as gone: already-delivered messages remain
@@ -150,6 +177,9 @@ func NewMailbox() *Mailbox {
 // receiver does not hang for the full timeout.
 func (b *Mailbox) FailSource(src int) {
 	b.mu.Lock()
+	if b.deadSrc == nil {
+		b.deadSrc = make(map[int]bool)
+	}
 	b.deadSrc[src] = true
 	b.mu.Unlock()
 	b.cond.Broadcast()
@@ -161,7 +191,16 @@ func (b *Mailbox) Put(src, tag int, payload []byte) {
 	copy(cp, payload)
 	b.mu.Lock()
 	k := msgKey{src, tag}
-	b.queues[k] = append(b.queues[k], cp)
+	q := b.queues[k]
+	if q == nil {
+		q = &msgQueue{}
+		b.queues[k] = q
+	}
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	q.msgs = append(q.msgs, cp)
 	b.mu.Unlock()
 	b.cond.Broadcast()
 }
@@ -169,37 +208,20 @@ func (b *Mailbox) Put(src, tag int, payload []byte) {
 // Get dequeues the next (src, tag) message, blocking up to timeout
 // (zero: forever). It fails once the mailbox is closed and drained.
 func (b *Mailbox) Get(src, tag int, timeout time.Duration) ([]byte, error) {
-	var deadline time.Time
-	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
-		// Wake sleepers periodically so the deadline is observed even
-		// without traffic.
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			ticker := time.NewTicker(timeout / 10)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-ticker.C:
-					b.cond.Broadcast()
-				}
-			}
-		}()
-	}
 	k := msgKey{src, tag}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	armed := false
+	defer func() {
+		if armed {
+			b.disarm()
+		}
+	}()
 	for {
-		if q := b.queues[k]; len(q) > 0 {
-			msg := q[0]
-			if len(q) == 1 {
-				delete(b.queues, k)
-			} else {
-				b.queues[k] = q[1:]
-			}
+		if q := b.queues[k]; q != nil && q.head < len(q.msgs) {
+			msg := q.msgs[q.head]
+			q.msgs[q.head] = nil
+			q.head++
 			return msg, nil
 		}
 		if b.closed {
@@ -208,11 +230,44 @@ func (b *Mailbox) Get(src, tag int, timeout time.Duration) ([]byte, error) {
 		if b.deadSrc[src] {
 			return nil, fmt.Errorf("mp: peer %d disconnected while waiting for tag %d", src, tag)
 		}
-		if timeout > 0 && time.Now().After(deadline) {
+		if armed && b.expired {
 			return nil, fmt.Errorf("%w: rank waiting for (src=%d, tag=%d)", ErrTimeout, src, tag)
+		}
+		if timeout > 0 && !armed {
+			// Arm the watchdog lazily, only when the receive actually has
+			// to block: the already-delivered case costs no timer work.
+			armed = true
+			b.arm(timeout)
 		}
 		b.cond.Wait()
 	}
+}
+
+// arm schedules the deadline watchdog; caller holds b.mu.
+func (b *Mailbox) arm(timeout time.Duration) {
+	b.gen++
+	b.armGen = b.gen
+	b.expired = false
+	if b.timer == nil {
+		b.timer = time.AfterFunc(timeout, func() {
+			b.mu.Lock()
+			if b.armGen == b.gen {
+				b.expired = true
+			}
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		})
+	} else {
+		b.timer.Reset(timeout)
+	}
+}
+
+// disarm cancels the watchdog; caller holds b.mu. A fire that already
+// slipped past Stop sees a stale generation and is ignored.
+func (b *Mailbox) disarm() {
+	b.gen++
+	b.expired = false
+	b.timer.Stop()
 }
 
 // Close wakes all waiters; subsequent Gets on empty channels fail.

@@ -239,12 +239,13 @@ func (t *tcpTransport) Send(to, tag int, payload []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(tag))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	// Write header and payload with a single writev so each frame costs
+	// one syscall instead of two (and small frames leave in one packet
+	// even without Nagle).
+	bufs := net.Buffers{hdr[:], payload}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if _, err := pc.conn.Write(hdr[:]); err != nil {
-		return fmt.Errorf("mpnet: send to %d: %w", to, err)
-	}
-	if _, err := pc.conn.Write(payload); err != nil {
+	if _, err := bufs.WriteTo(pc.conn); err != nil {
 		return fmt.Errorf("mpnet: send to %d: %w", to, err)
 	}
 	return nil

@@ -2,6 +2,9 @@ package render
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"sortlast/internal/frame"
 	"sortlast/internal/transfer"
@@ -32,6 +35,12 @@ type Options struct {
 	Light [3]float64
 	// Ambient is the ambient term used with shading, default 0.3.
 	Ambient float64
+	// Workers bounds the worker pool rendering scanlines concurrently.
+	// Zero or negative means GOMAXPROCS; 1 renders serially on the
+	// calling goroutine. Scanlines are disjoint Row slices and every
+	// pixel is independent, so the output is bit-identical for any
+	// worker count.
+	Workers int
 }
 
 func (o Options) step() float64 {
@@ -39,6 +48,13 @@ func (o Options) step() float64 {
 		return 1
 	}
 	return o.Step
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 func (o Options) cutoff() float64 {
@@ -78,7 +94,7 @@ func Raycast(s Sampler, box volume.Box, cam *Camera, tf *transfer.Func, opt Opti
 		ambient = 0.3
 	}
 
-	for py := foot.Y0; py < foot.Y1; py++ {
+	renderRow := func(py int) {
 		row := img.Row(py, foot.X0, foot.X1)
 		for px := foot.X0; px < foot.X1; px++ {
 			origin := cam.PlanePoint(px, py)
@@ -123,6 +139,37 @@ func Raycast(s Sampler, box volume.Box, cam *Camera, tf *transfer.Func, opt Opti
 			}
 		}
 	}
+
+	rows := foot.Dy()
+	workers := opt.workers()
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		for py := foot.Y0; py < foot.Y1; py++ {
+			renderRow(py)
+		}
+		return img
+	}
+	// Scanlines are disjoint slices of pre-grown storage, so workers
+	// share nothing but the atomic row counter; pixels depend only on
+	// the ray through them, so scheduling cannot change the output.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				py := foot.Y0 + int(next.Add(1)) - 1
+				if py >= foot.Y1 {
+					return
+				}
+				renderRow(py)
+			}
+		}()
+	}
+	wg.Wait()
 	return img
 }
 

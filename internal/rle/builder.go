@@ -49,8 +49,21 @@ func (b *Builder) Pixels(px []frame.Pixel) {
 // Scanned returns how many pixels Pixels examined.
 func (b *Builder) Scanned() int { return b.scanned }
 
+// Reset returns the builder to its initial state while keeping the
+// accumulated Codes/NonBlank capacity, so a long-lived builder encodes
+// without per-message allocation. Any Encoding previously returned by
+// Done aliases that storage and must be fully consumed (packed) first.
+func (b *Builder) Reset() {
+	b.e.Codes = b.e.Codes[:0]
+	b.e.NonBlank = b.e.NonBlank[:0]
+	b.e.Total = 0
+	b.blankRun = 0
+	b.fgRun = 0
+	b.scanned = 0
+}
+
 // Done finalizes and returns the encoding. The builder must not be
-// reused afterwards.
+// reused afterwards except via Reset.
 func (b *Builder) Done() Encoding {
 	if b.fgRun > 0 {
 		b.flushFg()

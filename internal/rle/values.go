@@ -36,6 +36,64 @@ func EncodeValues(pixels []frame.Pixel) []Run {
 	return runs
 }
 
+// EncodeValuesRect value-encodes the pixels of region (clipped to the
+// image's full frame) row-major into runs, reusing its storage, and
+// returns the extended slice. It produces exactly the same run sequence
+// as EncodeValues(img.PackRegion(region)): stretches outside the image
+// bounds are blank-valued pixels and merge with stored blanks, and runs
+// split at the same 65535-pixel boundaries.
+func EncodeValuesRect(img *frame.Image, region frame.Rect, runs []Run) []Run {
+	region = region.Intersect(img.Full())
+	runs = runs[:0]
+	var cur Run
+	add := func(p frame.Pixel, n int) {
+		if n <= 0 {
+			return
+		}
+		if cur.Count > 0 && cur.Value == p {
+			take := maxRun - int(cur.Count)
+			if take > n {
+				take = n
+			}
+			cur.Count += uint16(take)
+			n -= take
+		}
+		for n > 0 {
+			if cur.Count > 0 {
+				runs = append(runs, cur)
+			}
+			c := n
+			if c > maxRun {
+				c = maxRun
+			}
+			cur = Run{Value: p, Count: uint16(c)}
+			n -= c
+		}
+	}
+	bounds := img.Bounds()
+	w := region.Dx()
+	for y := region.Y0; y < region.Y1; y++ {
+		row := img.Row(y, region.X0, region.X1)
+		if row == nil {
+			add(frame.Pixel{}, w)
+			continue
+		}
+		left := 0
+		if bounds.X0 > region.X0 {
+			left = bounds.X0 - region.X0
+		}
+		add(frame.Pixel{}, left)
+		for _, p := range row {
+			add(p, 1)
+		}
+		add(frame.Pixel{}, w-left-len(row))
+	}
+	if cur.Count > 0 {
+		runs = append(runs, cur)
+	}
+	return runs
+}
+
 // DecodeValues expands runs back into a dense pixel sequence.
 func DecodeValues(runs []Run) []frame.Pixel {
 	n := 0

@@ -60,6 +60,13 @@ type Rank struct {
 // StageAt returns a pointer to the entry for 1-based stage k, growing the
 // slice as needed.
 func (r *Rank) StageAt(k int) *Stage {
+	if cap(r.Stages) < k {
+		// Stages arrive one at a time (log2 P of them plus a gather);
+		// grow once with headroom instead of once per stage.
+		grown := make([]Stage, len(r.Stages), max(k, 8))
+		copy(grown, r.Stages)
+		r.Stages = grown
+	}
 	for len(r.Stages) < k {
 		r.Stages = append(r.Stages, Stage{Stage: len(r.Stages) + 1})
 	}

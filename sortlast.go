@@ -42,6 +42,10 @@ type Options struct {
 	RotX, RotY float64
 	// Shaded enables gradient-based Lambertian shading.
 	Shaded bool
+	// Workers bounds the per-rank ray-casting worker pool. Zero means
+	// GOMAXPROCS; 1 renders each rank's subimage serially. The rendered
+	// image is bit-identical for any value.
+	Workers int
 	// DistributeVolume ships subvolumes (with ghost cells) through the
 	// message-passing layer instead of sharing memory, exercising the
 	// partitioning phase faithfully.
@@ -128,7 +132,7 @@ func Render(dataset string, opt Options) (*Result, error) {
 		P:      opt.Processors,
 		Method: opt.Method,
 		RotX:   opt.RotX, RotY: opt.RotY,
-		RenderOpts:       render.Options{Shaded: opt.Shaded},
+		RenderOpts:       render.Options{Shaded: opt.Shaded, Workers: opt.Workers},
 		DistributeVolume: opt.DistributeVolume,
 	}
 	return finish(harness.RunWithImage(cfg))
@@ -162,7 +166,7 @@ func RenderRaw(data []uint8, nx, ny, nz int, tfName string, opt Options) (*Resul
 		P:      opt.Processors,
 		Method: opt.Method,
 		RotX:   opt.RotX, RotY: opt.RotY,
-		RenderOpts:       render.Options{Shaded: opt.Shaded},
+		RenderOpts:       render.Options{Shaded: opt.Shaded, Workers: opt.Workers},
 		DistributeVolume: opt.DistributeVolume,
 	}
 	return finish(harness.RunWithImage(cfg))
