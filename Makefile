@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-json
 
 # check is the pre-commit gate: static analysis, a full build, the full
 # test suite, and the race detector over the packages that run
-# goroutine-parallel code (the simulated ranks in core/mp and the
-# scanline worker pool in render).
+# goroutine-parallel code (the simulated ranks in core/mp, the scanline
+# worker pool in render, the TCP transport, and the frame server's
+# pipelined scheduler).
 check: vet build test race
 
 vet:
@@ -18,8 +19,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/render/ ./internal/core/ ./internal/mp/
+	$(GO) test -race ./internal/render/ ./internal/core/ ./internal/mp/ \
+		./internal/mpnet/ ./internal/server/
 
 # bench runs the compositing allocation benchmarks used in EXPERIMENTS.md.
 bench:
 	$(GO) test -run xxx -bench BenchmarkCompositeAllocs -benchmem .
+
+# bench-json measures the serving tier (frames/sec, p50/p99 latency at
+# P=4 and P=8) and writes BENCH_serve.json.
+bench-json:
+	$(GO) run ./cmd/servebench -out BENCH_serve.json

@@ -43,19 +43,49 @@ var (
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	list, err := validateFlags()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clusternode: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(list); err != nil {
 		fmt.Fprintf(os.Stderr, "clusternode[rank %d]: %v\n", *rank, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	list := strings.Split(*addrs, ",")
-	if *addrs == "" || *rank < 0 || *rank >= len(list) {
-		flag.Usage()
-		return fmt.Errorf("need -rank in [0,%d) and -addrs", len(list))
+// validateFlags checks every flag up front so misconfiguration is a
+// usage error (exit 2), not a panic mid-pipeline or a hang in dial.
+func validateFlags() ([]string, error) {
+	if *addrs == "" {
+		return nil, fmt.Errorf("-addrs is required (comma-separated, one address per rank)")
 	}
+	list := strings.Split(*addrs, ",")
+	for i, a := range list {
+		if strings.TrimSpace(a) == "" {
+			return nil, fmt.Errorf("-addrs entry %d is empty", i)
+		}
+	}
+	if *rank < 0 || *rank >= len(list) {
+		return nil, fmt.Errorf("-rank %d out of range [0,%d)", *rank, len(list))
+	}
+	if _, err := core.New(*method); err != nil {
+		return nil, fmt.Errorf("unknown -method %q (have %v)", *method, core.Names())
+	}
+	if *in == "" && !harness.KnownDataset(*dataset) {
+		return nil, fmt.Errorf("unknown -dataset %q (have %v)", *dataset, harness.Datasets())
+	}
+	if *size <= 0 {
+		return nil, fmt.Errorf("-size %d must be positive", *size)
+	}
+	if *timeout <= 0 {
+		return nil, fmt.Errorf("-timeout %v must be positive", *timeout)
+	}
+	return list, nil
+}
 
+func run(list []string) error {
 	var vol *volume.Volume
 	var tf *transfer.Func
 	var err error

@@ -1,0 +1,82 @@
+// Command renderd runs the persistent frame service: a resident rank
+// pool that keeps volumes, transfer functions and compositing scratch
+// warm across requests and serves render requests over a
+// length-prefixed TCP protocol, with admission control, pipelined
+// frames and an HTTP observability sidecar.
+//
+//	renderd -listen 127.0.0.1:7171 -http 127.0.0.1:7172 -p 8 &
+//	curl -s http://127.0.0.1:7172/metrics | grep renderd_frames_total
+//
+// Requests are made with the internal/client library (see
+// cmd/servebench for a load-driving example). SIGINT/SIGTERM drain the
+// server gracefully: queued requests are answered with a typed
+// shutting-down error, in-flight frames finish and are delivered.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sortlast/internal/server"
+)
+
+var (
+	listen   = flag.String("listen", "127.0.0.1:7171", "frame-protocol listen address")
+	httpAddr = flag.String("http", "127.0.0.1:7172", "observability sidecar address (/healthz, /metrics); empty disables")
+	world    = flag.String("world", "mp", "resident rank pool kind: mp (in-process) or mpnet (TCP)")
+	addrs    = flag.String("world-addrs", "", "comma-separated mpnet rank addresses (default: loopback ephemeral)")
+	p        = flag.Int("p", 4, "resident ranks")
+	queue    = flag.Int("queue", 64, "admission queue depth (full queue rejects with a typed overload error)")
+	inflight = flag.Int("inflight", 2, "max frames pipelined through the render/composite stages")
+	deadline = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	workers  = flag.Int("workers", 0, "ray-casting workers per rank (0: GOMAXPROCS)")
+	drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "renderd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var worldAddrs []string
+	if *addrs != "" {
+		worldAddrs = strings.Split(*addrs, ",")
+	}
+	srv, err := server.Start(server.Config{
+		Addr:            *listen,
+		HTTPAddr:        *httpAddr,
+		World:           *world,
+		WorldAddrs:      worldAddrs,
+		P:               *p,
+		QueueDepth:      *queue,
+		MaxInFlight:     *inflight,
+		DefaultDeadline: *deadline,
+		Workers:         *workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("renderd: serving frames on %s (world=%s, P=%d, queue=%d, inflight=%d)\n",
+		srv.Addr(), *world, *p, *queue, *inflight)
+	if a := srv.HTTPAddr(); a != nil {
+		fmt.Printf("renderd: /healthz and /metrics on http://%s\n", a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("renderd: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

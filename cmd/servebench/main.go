@@ -1,0 +1,147 @@
+// Command servebench measures the serving tier end to end: it starts an
+// in-process renderd (resident rank pool, admission queue, pipelined
+// frames), drives it with concurrent client requests, and reports
+// frames per second and p50/p99 request latency per world size.
+//
+//	go run ./cmd/servebench -frames 32 -out BENCH_serve.json
+//
+// The JSON output is an array of per-configuration records, one per
+// (P, method) pair, consumed by `make bench-json`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"sortlast/internal/client"
+	"sortlast/internal/server"
+)
+
+var (
+	frames   = flag.Int("frames", 32, "frames per configuration")
+	size     = flag.Int("size", 256, "image size (square)")
+	inflight = flag.Int("inflight", 2, "max frames pipelined through the stages")
+	conc     = flag.Int("conc", 8, "concurrent client requests")
+	out      = flag.String("out", "BENCH_serve.json", "output path (- for stdout)")
+)
+
+// record is one benchmark configuration's result.
+type record struct {
+	P         int     `json:"p"`
+	Method    string  `json:"method"`
+	Frames    int     `json:"frames"`
+	Size      int     `json:"size"`
+	FPS       float64 `json:"frames_per_sec"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	WireBytes int64   `json:"wire_bytes_per_frame"`
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var records []record
+	for _, p := range []int{4, 8} {
+		for _, method := range []string{"bs", "bsbrc"} {
+			rec, err := bench(p, method)
+			if err != nil {
+				return fmt.Errorf("P=%d method=%s: %w", p, method, err)
+			}
+			records = append(records, rec)
+			fmt.Fprintf(os.Stderr, "P=%d %-6s %6.2f frames/s  p50 %6.1f ms  p99 %6.1f ms\n",
+				rec.P, rec.Method, rec.FPS, rec.P50MS, rec.P99MS)
+		}
+	}
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+func bench(p int, method string) (record, error) {
+	srv, err := server.Start(server.Config{
+		Addr: "127.0.0.1:0", P: p,
+		QueueDepth:      2 * *frames,
+		MaxInFlight:     *inflight,
+		DefaultDeadline: 5 * time.Minute,
+	})
+	if err != nil {
+		return record{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	cl := client.New(srv.Addr().String())
+	defer cl.Close()
+
+	req := server.Request{Dataset: "cube", Method: method, Width: *size, Height: *size, RotY: 30}
+	ctx := context.Background()
+	if _, err := cl.Render(ctx, req); err != nil { // warm the dataset cache
+		return record{}, err
+	}
+
+	latencies := make([]time.Duration, *frames)
+	var wire int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *conc)
+	errs := make(chan error, *frames)
+	start := time.Now()
+	for i := 0; i < *frames; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			f, err := cl.Render(ctx, req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			latencies[i] = time.Since(t0)
+			wire += f.Stats.WireBytes
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return record{}, err
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) float64 {
+		i := int(q * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	return record{
+		P: p, Method: method, Frames: *frames, Size: *size,
+		FPS:       float64(*frames) / elapsed.Seconds(),
+		P50MS:     quantile(0.50),
+		P99MS:     quantile(0.99),
+		WireBytes: wire / int64(*frames),
+	}, nil
+}

@@ -1,0 +1,184 @@
+// Package client is the Go client library for renderd, the frame
+// service in internal/server. It speaks the length-prefixed TCP
+// protocol, maps the server's typed error codes onto sentinel errors
+// (errors.Is(err, client.ErrOverloaded) distinguishes backpressure from
+// failure), and pools connections so concurrent Render calls multiplex
+// over several sequential streams.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"sortlast/internal/server"
+)
+
+// Sentinel errors for the server's typed reply codes.
+var (
+	// ErrOverloaded means the admission queue was full; the request was
+	// rejected without queuing and may be retried after backing off.
+	ErrOverloaded = errors.New("renderd: overloaded")
+	// ErrBadRequest means the request failed validation; retrying the
+	// same request cannot succeed.
+	ErrBadRequest = errors.New("renderd: bad request")
+	// ErrDeadline means the request's server-side deadline expired
+	// before it could be dispatched.
+	ErrDeadline = errors.New("renderd: deadline exceeded")
+	// ErrShutdown means the server is draining and no longer admits work.
+	ErrShutdown = errors.New("renderd: server shutting down")
+	// ErrInternal means the serving pipeline failed.
+	ErrInternal = errors.New("renderd: internal server error")
+)
+
+// Error is a typed failure reply from the server.
+type Error struct {
+	Code string // one of the server.Code* values
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("renderd: %s: %s", e.Code, e.Msg) }
+
+// Unwrap maps the code to its sentinel so errors.Is works.
+func (e *Error) Unwrap() error {
+	switch e.Code {
+	case server.CodeOverloaded:
+		return ErrOverloaded
+	case server.CodeBadRequest:
+		return ErrBadRequest
+	case server.CodeDeadline:
+		return ErrDeadline
+	case server.CodeShutdown:
+		return ErrShutdown
+	default:
+		return ErrInternal
+	}
+}
+
+// Frame is one rendered reply.
+type Frame struct {
+	Width, Height int
+	// Gray is the row-major 8-bit image, Width*Height bytes.
+	Gray  []byte
+	Stats server.FrameStats
+}
+
+// At returns the gray value at (x, y).
+func (f *Frame) At(x, y int) uint8 { return f.Gray[y*f.Width+x] }
+
+// Client talks to one renderd instance. It is safe for concurrent use;
+// each in-flight Render occupies one pooled connection.
+type Client struct {
+	addr string
+
+	idle chan net.Conn
+}
+
+// maxIdleConns bounds the pooled (idle) connections kept open.
+const maxIdleConns = 16
+
+// New returns a client for the renderd instance at addr. Connections
+// are dialed lazily on first use.
+func New(addr string) *Client {
+	return &Client{addr: addr, idle: make(chan net.Conn, maxIdleConns)}
+}
+
+// Render requests one frame. The context bounds the whole round trip;
+// its deadline (when set and sooner than req.DeadlineMS) is also shipped
+// to the server so queue-side cancellation matches the caller's budget.
+func (c *Client) Render(ctx context.Context, req server.Request) (*Frame, error) {
+	if d, ok := ctx.Deadline(); ok {
+		ms := time.Until(d).Milliseconds()
+		if ms <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		if req.DeadlineMS == 0 || ms < req.DeadlineMS {
+			req.DeadlineMS = ms
+		}
+	}
+	conn, err := c.conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := roundTrip(ctx, conn, req)
+	if err != nil {
+		var typed *Error
+		if errors.As(err, &typed) {
+			// Typed server replies leave the stream in sync; reuse it.
+			c.release(conn)
+			return nil, err
+		}
+		conn.Close() // transport error: stream state unknown
+		return nil, err
+	}
+	c.release(conn)
+	return frame, nil
+}
+
+func roundTrip(ctx context.Context, conn net.Conn, req server.Request) (*Frame, error) {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Time{}
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := server.WriteJSON(conn, req); err != nil {
+		return nil, fmt.Errorf("renderd: send: %w", err)
+	}
+	var resp server.Response
+	if err := server.ReadJSON(conn, server.MaxRequestFrame, &resp); err != nil {
+		return nil, fmt.Errorf("renderd: read reply: %w", err)
+	}
+	if !resp.OK {
+		return nil, &Error{Code: resp.Code, Msg: resp.Error}
+	}
+	gray, err := server.ReadFrame(conn, server.MaxReplyFrame)
+	if err != nil {
+		return nil, fmt.Errorf("renderd: read pixels: %w", err)
+	}
+	if len(gray) != resp.Width*resp.Height {
+		return nil, fmt.Errorf("renderd: %d pixel bytes for a %dx%d frame",
+			len(gray), resp.Width, resp.Height)
+	}
+	return &Frame{Width: resp.Width, Height: resp.Height, Gray: gray, Stats: resp.Stats}, nil
+}
+
+func (c *Client) conn(ctx context.Context) (net.Conn, error) {
+	select {
+	case conn := <-c.idle:
+		return conn, nil
+	default:
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("renderd: dial %s: %w", c.addr, err)
+	}
+	return conn, nil
+}
+
+func (c *Client) release(conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	select {
+	case c.idle <- conn:
+	default:
+		conn.Close()
+	}
+}
+
+// Close drops all pooled connections. In-flight Renders are unaffected
+// (their connections are simply not returned to the pool).
+func (c *Client) Close() {
+	for {
+		select {
+		case conn := <-c.idle:
+			conn.Close()
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package frame
+
+// AppendGray appends the 8-bit gray conversion of the full frame to dst
+// in row-major order (Width*Height bytes) and returns the extended
+// slice. Pixels outside the allocated bounds are background (0). This is
+// the display form of the paper's output images and the payload renderd
+// ships to clients, so it avoids the per-pixel At bounds checks.
+func (im *Image) AppendGray(dst []byte) []byte {
+	w, h := im.full.Dx(), im.full.Dy()
+	n := len(dst)
+	dst = append(dst, make([]byte, w*h)...)
+	out := dst[n:]
+	b := im.bounds
+	for y := b.Y0; y < b.Y1; y++ {
+		row := im.Row(y, b.X0, b.X1)
+		line := out[(y-im.full.Y0)*w:]
+		for i, p := range row {
+			line[b.X0-im.full.X0+i] = p.Gray()
+		}
+	}
+	return dst
+}

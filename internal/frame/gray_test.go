@@ -1,0 +1,22 @@
+package frame
+
+import "testing"
+
+func TestAppendGrayMatchesAt(t *testing.T) {
+	im := NewImage(7, 5)
+	im.Set(2, 1, Pixel{I: 0.5, A: 1})
+	im.Set(6, 4, Pixel{I: 1, A: 1})
+	im.Set(3, 3, Pixel{I: 0.25, A: 0.5})
+
+	got := im.AppendGray([]byte{0xEE}) // appends after existing bytes
+	if len(got) != 1+7*5 || got[0] != 0xEE {
+		t.Fatalf("AppendGray length/prefix wrong: len=%d", len(got))
+	}
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 7; x++ {
+			if want := im.At(x, y).Gray(); got[1+y*7+x] != want {
+				t.Fatalf("(%d,%d): got %d want %d", x, y, got[1+y*7+x], want)
+			}
+		}
+	}
+}

@@ -254,15 +254,10 @@ func RunDetailed(cfg Config) (*Row, []*stats.Rank, error) {
 }
 
 func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) {
-	vol, tf, err := cfg.resolve()
+	plan, err := NewPlan(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	comp, dec, boxOf, err := cfg.newCompositor(vol)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	cam := render.NewCamera(cfg.Width, cfg.Height, vol.Bounds(), cfg.RotX, cfg.RotY)
 
 	rankStats := make([]*stats.Rank, cfg.P)
 	renderWall := make([]time.Duration, cfg.P)
@@ -271,11 +266,10 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 
 	err = mp.Run(cfg.P, cfg.WorldOpts, func(c mp.Comm) error {
 		me := c.Rank()
-		box := boxOf(me)
 
-		var src volumeSource = vol
+		var src volumeSource = plan.Vol
 		if cfg.DistributeVolume {
-			sub, err := distribute(c, vol, boxOf, cfg.RenderOpts.Shaded)
+			sub, err := distribute(c, plan.Vol, plan.Box, cfg.RenderOpts.Shaded)
 			if err != nil {
 				return err
 			}
@@ -283,17 +277,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 		}
 
 		start := time.Now()
-		var img *frame.Image
-		if cfg.Surface {
-			iso := cfg.IsoLevel
-			if iso == 0 {
-				iso = 128
-			}
-			m := mesh.Extract(src, mesh.CellsFor(box, vol.Bounds()), iso)
-			img = render.Rasterize(m, cam, cfg.RasterOpts)
-		} else {
-			img = render.Raycast(src, box, cam, tf, cfg.RenderOpts)
-		}
+		img := plan.RenderRankFrom(src, me)
 		renderWall[me] = time.Since(start)
 
 		var pristine *frame.Image
@@ -304,13 +288,13 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 		if err := c.Barrier(); err != nil { // compositing starts together
 			return err
 		}
-		res, err := comp.Composite(c, dec, cam.Dir, img)
+		res, err := plan.CompositeRank(c, img)
 		if err != nil {
 			return err
 		}
 		rankStats[me] = res.Stats
 
-		out, err := core.GatherImage(c, 0, res)
+		out, err := plan.GatherRank(c, res)
 		if err != nil {
 			return err
 		}
@@ -318,7 +302,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 			final = out
 		}
 		if cfg.Validate {
-			d, err := validateAgainstSequential(c, comp, dec, cam.Dir, pristine, out)
+			d, err := validateAgainstSequential(c, plan.Comp, plan.Dec, plan.Cam.Dir, pristine, out)
 			if err != nil {
 				return err
 			}
@@ -336,7 +320,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 	cost := p.World(rankStats)
 	makespan := p.Makespan(rankStats)
 	row := &Row{
-		Dataset: cfg.Dataset, Method: comp.Name(), P: cfg.P,
+		Dataset: cfg.Dataset, Method: plan.Comp.Name(), P: cfg.P,
 		Width: cfg.Width, Height: cfg.Height,
 		CompMS:         ms(cost.Comp),
 		CommMS:         ms(cost.Comm),

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+
+	"sortlast/internal/core"
+	"sortlast/internal/frame"
+	"sortlast/internal/mesh"
+	"sortlast/internal/mp"
+	"sortlast/internal/partition"
+	"sortlast/internal/render"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+// Plan is a Config resolved once: dataset volume, transfer function,
+// compositor, decomposition and camera. It splits the one-shot setup
+// from per-frame execution so a standing world (a resident rank pool
+// serving many requests, as in internal/server) can amortize the setup
+// across frames instead of paying it per render. A Plan is immutable
+// after NewPlan and safe for concurrent use by all rank goroutines.
+type Plan struct {
+	Cfg  Config
+	Vol  *volume.Volume
+	TF   *transfer.Func
+	Comp core.Compositor
+	Dec  *partition.Decomposition
+	Cam  *render.Camera
+
+	boxOf func(int) volume.Box
+}
+
+// NewPlan resolves cfg into an executable per-frame plan.
+func NewPlan(cfg Config) (*Plan, error) {
+	vol, tf, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	comp, dec, boxOf, err := cfg.newCompositor(vol)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Cfg: cfg, Vol: vol, TF: tf,
+		Comp: comp, Dec: dec,
+		Cam:   render.NewCamera(cfg.Width, cfg.Height, vol.Bounds(), cfg.RotX, cfg.RotY),
+		boxOf: boxOf,
+	}, nil
+}
+
+// Box returns the subvolume assigned to rank me (the fold plan's box for
+// non-power-of-two worlds).
+func (p *Plan) Box(me int) volume.Box { return p.boxOf(me) }
+
+// RenderRank runs the rendering phase for rank me from the shared
+// volume and returns its subimage. Callers that distributed subvolumes
+// through the message layer use RenderRankFrom instead.
+func (p *Plan) RenderRank(me int) *frame.Image {
+	return p.RenderRankFrom(p.Vol, me)
+}
+
+// RenderRankFrom renders rank me's subimage from src, which must cover
+// the rank's box (plus ghost cells when shading).
+func (p *Plan) RenderRankFrom(src volumeSource, me int) *frame.Image {
+	box := p.boxOf(me)
+	if p.Cfg.Surface {
+		iso := p.Cfg.IsoLevel
+		if iso == 0 {
+			iso = 128
+		}
+		m := mesh.Extract(src, mesh.CellsFor(box, p.Vol.Bounds()), iso)
+		return render.Rasterize(m, p.Cam, p.Cfg.RasterOpts)
+	}
+	return render.Raycast(src, box, p.Cam, p.TF, p.Cfg.RenderOpts)
+}
+
+// CompositeRank runs the compositing phase for one rank over a standing
+// communicator. Successive frames may be composited back to back on the
+// same communicator without barriers: per-(source, tag) FIFO ordering
+// keeps consecutive frames' messages correctly paired, the same
+// guarantee consecutive collectives rely on.
+func (p *Plan) CompositeRank(c mp.Comm, img *frame.Image) (*core.Result, error) {
+	return p.Comp.Composite(c, p.Dec, p.Cam.Dir, img)
+}
+
+// GatherRank assembles the distributed final image at rank 0 from this
+// rank's compositing result; non-root ranks receive nil.
+func (p *Plan) GatherRank(c mp.Comm, res *core.Result) (*frame.Image, error) {
+	return core.GatherImage(c, 0, res)
+}
+
+// Datasets lists the built-in workload names accepted by Config.Dataset.
+func Datasets() []string {
+	return []string{"engine_low", "engine_high", "head", "cube"}
+}
+
+// KnownDataset reports whether name is a built-in workload.
+func KnownDataset(name string) bool {
+	switch name {
+	case "engine_low", "engine_high", "head", "cube":
+		return true
+	}
+	return false
+}
+
+// Check validates a Config without generating volumes or building a
+// world, so admission layers (the renderd server, CLI flag parsing) can
+// reject bad requests up front with a precise error. (Named Check
+// because Validate is the Config field enabling the sequential-reference
+// comparison.)
+func (cfg *Config) Check() error {
+	if cfg.Volume == nil && !KnownDataset(cfg.Dataset) {
+		return fmt.Errorf("harness: unknown dataset %q (have %v)", cfg.Dataset, Datasets())
+	}
+	if cfg.Volume != nil && cfg.TF == nil {
+		if _, err := transfer.Preset(cfg.Dataset); err != nil {
+			return fmt.Errorf("harness: no transfer function for volume: %w", err)
+		}
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return fmt.Errorf("harness: image size %dx%d must be positive", cfg.Width, cfg.Height)
+	}
+	if cfg.P <= 0 {
+		return fmt.Errorf("harness: P = %d must be positive", cfg.P)
+	}
+	if _, err := core.New(cfg.Method); err != nil {
+		return err
+	}
+	if !IsPow2(cfg.P) {
+		if cfg.BalanceRender {
+			return fmt.Errorf("harness: BalanceRender requires a power-of-two P, got %d", cfg.P)
+		}
+		switch cfg.Method {
+		case "bs", "bsbr", "bslc", "bsbrc", "bsdpf", "bsvc", "bsbrlc":
+		default:
+			return fmt.Errorf("harness: method %q requires a power-of-two P, got %d", cfg.Method, cfg.P)
+		}
+	}
+	return nil
+}

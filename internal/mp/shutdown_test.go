@@ -1,0 +1,36 @@
+package mp
+
+import (
+	"testing"
+	"time"
+)
+
+// A standing world must be cancellable: a rank blocked in Recv (e.g. a
+// resident server pipeline during teardown) has to fail promptly when
+// the world is shut down, not wait out its receive timeout.
+func TestWorldShutdownUnblocksRecv(t *testing.T) {
+	w, err := NewWorld(2, Options{RecvTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.Comm(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv(0, 7) // nothing will ever arrive
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the Recv block
+	w.Shutdown()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv returned nil error after Shutdown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after Shutdown")
+	}
+	w.Shutdown() // idempotent
+}

@@ -72,6 +72,16 @@ func (w *World) closeAll() {
 	}
 }
 
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Shutdown closes every rank's mailbox: receives that are blocked (or
+// would block) fail promptly instead of waiting out their timeout.
+// Long-running services built on a standing world use it to cancel the
+// whole rank pool during teardown; it is safe to call more than once and
+// concurrently with rank goroutines.
+func (w *World) Shutdown() { w.closeAll() }
+
 // Run spawns fn on every rank of a fresh world and waits for all ranks to
 // finish. It returns the first non-nil error (by rank order). Panics in a
 // rank are re-panicked in the caller after all other ranks are released,

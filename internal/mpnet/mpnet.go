@@ -12,6 +12,7 @@
 package mpnet
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -59,13 +60,37 @@ func (n *Node) Comm() mp.Comm { return n.comm }
 // Close tears down all connections and the listener. Blocked receives
 // fail promptly. Call only when the program is quiesced — a Barrier
 // before Close (MPI_Finalize-style) guarantees no peer still expects
-// traffic from this rank beyond what is already in flight.
+// traffic from this rank beyond what is already in flight; Shutdown
+// wraps that protocol with a deadline.
 func (n *Node) Close() error {
 	n.tr.close()
 	if n.listener != nil {
 		n.listener.Close()
 	}
 	return nil
+}
+
+// Shutdown quiesces the rank with a barrier (so no peer still expects
+// traffic beyond what is in flight) and then closes the node. If the
+// context expires first — a peer already died, or the program is wedged
+// — the node is closed anyway, which fails this rank's and its peers'
+// blocked receives promptly instead of letting them wait out their
+// receive timeout. The node must not be in use by other goroutines
+// (Comm endpoints are single-goroutine).
+func (n *Node) Shutdown(ctx context.Context) error {
+	quiesced := make(chan error, 1)
+	go func() { quiesced <- n.comm.Barrier() }()
+	select {
+	case err := <-quiesced:
+		n.Close()
+		return err
+	case <-ctx.Done():
+		// Closing the transport fails the in-flight barrier, so the
+		// goroutine exits promptly; wait for it so Shutdown leaks nothing.
+		n.Close()
+		<-quiesced
+		return ctx.Err()
+	}
 }
 
 const handshakeMagic = 0x534C4350 // "SLCP"

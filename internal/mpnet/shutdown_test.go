@@ -1,0 +1,118 @@
+package mpnet
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"sortlast/internal/mp"
+)
+
+// connectPair brings up a 2-rank TCP world on loopback.
+func connectPair(t *testing.T) [2]*Node {
+	t.Helper()
+	listeners := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var nodes [2]*Node
+	var errs [2]error
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			nodes[r], errs[r] = Connect(Config{
+				Rank: r, Addrs: addrs, Listener: listeners[r],
+				DialTimeout: 10 * time.Second,
+				Opts:        mp.Options{RecvTimeout: time.Minute},
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d connect: %v", r, err)
+		}
+	}
+	return nodes
+}
+
+// Shutdown with both ranks quiescing must complete the barrier and
+// return nil on both sides.
+func TestShutdownQuiesced(t *testing.T) {
+	nodes := connectPair(t)
+	var wg sync.WaitGroup
+	var errs [2]error
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			errs[r] = nodes[r].Shutdown(ctx)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d shutdown: %v", r, err)
+		}
+	}
+}
+
+// The documented foot-gun: rank 1 never quiesces (it is wedged in a
+// receive that can never be satisfied). Rank 0's Shutdown must give up
+// at its deadline and close anyway, which in turn fails rank 1's
+// blocked receive promptly — and no goroutines may leak.
+func TestShutdownUnblocksWedgedPeer(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	nodes := connectPair(t)
+	recvDone := make(chan error, 1)
+	go func() {
+		_, err := nodes[1].Comm().Recv(0, 9) // rank 0 never sends tag 9
+		recvDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the receive block
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := nodes[0].Shutdown(ctx)
+	if err == nil {
+		t.Error("Shutdown against a wedged peer must report the context error")
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Errorf("Shutdown took %v, want prompt give-up at the deadline", since)
+	}
+
+	select {
+	case err := <-recvDone:
+		if err == nil {
+			t.Error("blocked receive returned nil error after peer shutdown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked receive did not fail after peer shutdown")
+	}
+	nodes[1].Close()
+
+	// All readLoop / barrier goroutines must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

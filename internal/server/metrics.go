@@ -1,0 +1,109 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sortlast/internal/core"
+)
+
+// metrics is renderd's observability surface, exposed as Prometheus
+// text format on the HTTP sidecar. Counters are lock-free atomics keyed
+// by pre-registered label values (methods from the core registry, the
+// protocol's error codes), so the hot path never allocates or locks; the
+// latency histogram takes a mutex only to bump one bucket.
+type metrics struct {
+	frames   map[string]*atomic.Int64 // completed frames per method
+	errors   map[string]*atomic.Int64 // rejected/failed requests per code
+	inflight atomic.Int64             // frames dispatched, not yet replied
+	wire     atomic.Int64             // compositing bytes received, all ranks
+
+	queueDepth func() int // sampled at scrape time
+
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, seconds, ascending; +Inf implicit
+	counts  []int64   // len(buckets)+1
+	sum     float64
+	count   int64
+}
+
+func newMetrics(queueDepth func() int) *metrics {
+	m := &metrics{
+		frames:     make(map[string]*atomic.Int64),
+		errors:     make(map[string]*atomic.Int64),
+		queueDepth: queueDepth,
+		buckets:    []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10},
+	}
+	m.counts = make([]int64, len(m.buckets)+1)
+	for _, name := range core.Names() {
+		m.frames[name] = new(atomic.Int64)
+	}
+	for _, code := range []string{CodeOverloaded, CodeBadRequest, CodeDeadline, CodeShutdown, CodeInternal} {
+		m.errors[code] = new(atomic.Int64)
+	}
+	return m
+}
+
+func (m *metrics) frameDone(method string, latency time.Duration) {
+	if c := m.frames[method]; c != nil {
+		c.Add(1)
+	}
+	s := latency.Seconds()
+	m.mu.Lock()
+	i := sort.SearchFloat64s(m.buckets, s)
+	m.counts[i]++
+	m.sum += s
+	m.count++
+	m.mu.Unlock()
+}
+
+func (m *metrics) requestFailed(code string) {
+	if c := m.errors[code]; c != nil {
+		c.Add(1)
+	}
+}
+
+// WriteProm renders the metrics in Prometheus text exposition format.
+func (m *metrics) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP renderd_frames_total Frames served, by compositing method.\n")
+	fmt.Fprintf(w, "# TYPE renderd_frames_total counter\n")
+	for _, name := range core.Names() {
+		fmt.Fprintf(w, "renderd_frames_total{method=%q} %d\n", name, m.frames[name].Load())
+	}
+	fmt.Fprintf(w, "# HELP renderd_request_errors_total Requests answered with a typed error, by code.\n")
+	fmt.Fprintf(w, "# TYPE renderd_request_errors_total counter\n")
+	for _, code := range []string{CodeOverloaded, CodeBadRequest, CodeDeadline, CodeShutdown, CodeInternal} {
+		fmt.Fprintf(w, "renderd_request_errors_total{code=%q} %d\n", code, m.errors[code].Load())
+	}
+	fmt.Fprintf(w, "# HELP renderd_queue_depth Requests admitted and waiting for dispatch.\n")
+	fmt.Fprintf(w, "# TYPE renderd_queue_depth gauge\n")
+	fmt.Fprintf(w, "renderd_queue_depth %d\n", m.queueDepth())
+	fmt.Fprintf(w, "# HELP renderd_inflight_frames Frames dispatched into the rank pool and not yet replied.\n")
+	fmt.Fprintf(w, "# TYPE renderd_inflight_frames gauge\n")
+	fmt.Fprintf(w, "renderd_inflight_frames %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP renderd_wire_bytes_total Compositing payload bytes received across all ranks (mp message log).\n")
+	fmt.Fprintf(w, "# TYPE renderd_wire_bytes_total counter\n")
+	fmt.Fprintf(w, "renderd_wire_bytes_total %d\n", m.wire.Load())
+
+	m.mu.Lock()
+	counts := append([]int64(nil), m.counts...)
+	sum, count := m.sum, m.count
+	m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP renderd_frame_latency_seconds Admission-to-reply latency of served frames.\n")
+	fmt.Fprintf(w, "# TYPE renderd_frame_latency_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range m.buckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "renderd_frame_latency_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += counts[len(m.buckets)]
+	fmt.Fprintf(w, "renderd_frame_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "renderd_frame_latency_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "renderd_frame_latency_seconds_count %d\n", count)
+}
+
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }

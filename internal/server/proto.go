@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire protocol of the frame service: length-prefixed frames over one
+// TCP connection, requests answered in order.
+//
+//	client → server:  [u32 LE n][n bytes: JSON Request]
+//	server → client:  [u32 LE n][n bytes: JSON Response]
+//	                  then, iff Response.OK:
+//	                  [u32 LE m][m bytes: 8-bit gray pixels, row-major]
+//
+// The JSON header keeps the protocol trivially debuggable and
+// extensible; the pixel payload stays raw because it dominates the
+// bytes. A connection carries any number of requests sequentially;
+// clients wanting concurrency open several connections.
+
+// Frame size limits. Requests are small JSON documents; replies are
+// bounded by the largest image the server will render.
+const (
+	MaxRequestFrame = 1 << 16
+	MaxReplyFrame   = 1 << 28
+)
+
+// Request asks for one frame.
+type Request struct {
+	// Dataset is a built-in workload name (engine_low, engine_high,
+	// head, cube).
+	Dataset string `json:"dataset"`
+	// Method is the compositing method (see sortlast.Methods). Empty
+	// means bsbrc.
+	Method string `json:"method,omitempty"`
+	// Width and Height set the image size.
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// RotX and RotY rotate the viewpoint in degrees.
+	RotX float64 `json:"rotx,omitempty"`
+	RotY float64 `json:"roty,omitempty"`
+	// Shaded enables gradient-based Lambertian shading.
+	Shaded bool `json:"shaded,omitempty"`
+	// DeadlineMS bounds queue wait plus execution on the server side; a
+	// request that cannot be dispatched before its deadline is answered
+	// with CodeDeadline instead of rendering. Zero means the server
+	// default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Typed error codes carried in Response.Code. The client library maps
+// them to sentinel errors.
+const (
+	CodeOverloaded = "overloaded"  // admission queue full — retry later
+	CodeBadRequest = "bad_request" // request invalid; do not retry
+	CodeDeadline   = "deadline_exceeded"
+	CodeShutdown   = "shutting_down"
+	CodeInternal   = "internal"
+)
+
+// Response is the header of one reply.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	// Width and Height echo the rendered size; the pixel payload that
+	// follows holds Width*Height gray bytes.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+
+	Stats FrameStats `json:"stats,omitempty"`
+}
+
+// FrameStats reports how the frame moved through the serving pipeline.
+type FrameStats struct {
+	// QueueMS is the time from admission to dispatch into the rank pool.
+	QueueMS float64 `json:"queue_ms"`
+	// RenderMS is rank 0's ray-casting wall time.
+	RenderMS float64 `json:"render_ms"`
+	// TotalMS is the server-side wall time from admission to reply.
+	TotalMS float64 `json:"total_ms"`
+	// WireBytes counts compositing bytes received across all ranks for
+	// this frame (ranks that finish after the reply was sent may be
+	// missing; the /metrics total is exact).
+	WireBytes int64 `json:"wire_bytes"`
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame of at most max bytes.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int64(n) > int64(max) {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// WriteJSON marshals v into one frame.
+func WriteJSON(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, b)
+}
+
+// ReadJSON reads one frame of at most max bytes and unmarshals it into v.
+func ReadJSON(r io.Reader, max int, v any) error {
+	b, err := ReadFrame(r, max)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}

@@ -1,0 +1,544 @@
+// Package server implements renderd, the persistent frame-serving tier
+// of the sort-last system: a resident rank pool (in-process mp world or
+// TCP mpnet world) that keeps volumes, transfer functions and the
+// per-rank compositing scratch warm across requests and serves frames
+// over a length-prefixed TCP protocol.
+//
+// The serving skeleton is: connection handlers validate and admit
+// requests into a bounded queue (admission control — a full queue is a
+// typed "overloaded" reply, never unbounded buffering); a scheduler
+// dispatches queued jobs into the rank pool, bounded by a MaxInFlight
+// token so up to K frames pipeline through the two per-rank stages
+// (render, then composite+gather); rank 0's composite stage delivers the
+// final image back to the waiting handler. Per-request deadlines cancel
+// queued work at dispatch time — once a frame enters the rank pool it
+// runs to completion, because cancelling half a binary-swap would
+// desynchronize the world. An HTTP sidecar exposes /healthz and
+// Prometheus /metrics.
+//
+// Frames dispatched back to back stay correctly paired without barriers:
+// every rank processes frames in the same dispatch order, and the mp
+// layer guarantees FIFO delivery per (source, tag) channel — the same
+// property consecutive collectives rely on.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/harness"
+	"sortlast/internal/mp"
+	"sortlast/internal/render"
+)
+
+// Config describes one renderd instance.
+type Config struct {
+	// Addr is the frame-protocol listen address. Default 127.0.0.1:7171.
+	Addr string
+	// HTTPAddr is the observability sidecar listen address (/healthz,
+	// /metrics). Empty disables the sidecar.
+	HTTPAddr string
+
+	// World picks the resident rank pool: "mp" (in-process, default) or
+	// "mpnet" (one TCP node per rank; WorldAddrs or loopback ephemeral).
+	World      string
+	WorldAddrs []string
+	// P is the number of resident ranks. Default 4.
+	P int
+
+	// QueueDepth bounds the admission queue; a request arriving with the
+	// queue full is rejected with CodeOverloaded. Default 64.
+	QueueDepth int
+	// MaxInFlight bounds how many frames may be in the render→composite
+	// pipeline at once. Default 2 (one rendering while one composites).
+	MaxInFlight int
+	// DefaultDeadline applies to requests that do not set DeadlineMS.
+	// Default 30s.
+	DefaultDeadline time.Duration
+	// Workers bounds each rank's ray-casting worker pool (0: GOMAXPROCS).
+	// Rendering is bit-identical for any value.
+	Workers int
+	// RecvTimeout is the rank pool's receive timeout (0: the mp default).
+	RecvTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7171"
+	}
+	if c.P == 0 {
+		c.P = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	return c
+}
+
+// job is one admitted request moving through the pipeline.
+type job struct {
+	plan     *harness.Plan
+	method   string
+	admitted time.Time
+	deadline time.Time
+
+	dispatched time.Time    // set by the scheduler
+	renderNS   atomic.Int64 // rank 0 render wall
+	wireBytes  atomic.Int64 // composite bytes received, all ranks
+
+	once sync.Once
+	done chan reply // buffered; exactly one reply per admitted job
+}
+
+type reply struct {
+	img  *frame.Image
+	code string // "" on success
+	err  error
+}
+
+func (j *job) finish(r reply) { j.once.Do(func() { j.done <- r }) }
+
+// rendered is the handoff between a rank's render and composite stages.
+type rendered struct {
+	job *job
+	img *frame.Image
+}
+
+// Server is a running renderd instance.
+type Server struct {
+	cfg   Config
+	world resident
+	met   *metrics
+
+	queue  chan *job
+	tokens chan struct{} // in-flight bound
+	stop   chan struct{}
+
+	renderChs []chan *job
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	schedDone chan struct{}
+	pipeWG    sync.WaitGroup // render+composite loops
+	connWG    sync.WaitGroup // connection handlers + accept loop
+
+	poisoned atomic.Pointer[error] // first pipeline error; world is dead
+
+	stopOnce sync.Once
+}
+
+// Start builds the resident world, spawns the rank pipelines and begins
+// serving on cfg.Addr (and cfg.HTTPAddr when set).
+func Start(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxInFlight < 1 || cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("server: MaxInFlight and QueueDepth must be positive")
+	}
+	world, err := newResident(cfg.World, cfg.P, cfg.WorldAddrs, mp.Options{RecvTimeout: cfg.RecvTimeout})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		world:     world,
+		queue:     make(chan *job, cfg.QueueDepth),
+		tokens:    make(chan struct{}, cfg.MaxInFlight),
+		stop:      make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		schedDone: make(chan struct{}),
+	}
+	s.met = newMetrics(func() int { return len(s.queue) })
+
+	comms := world.comms()
+	s.renderChs = make([]chan *job, cfg.P)
+	for r := 0; r < cfg.P; r++ {
+		renderCh := make(chan *job, cfg.MaxInFlight)
+		compCh := make(chan rendered, cfg.MaxInFlight)
+		s.renderChs[r] = renderCh
+		s.pipeWG.Add(2)
+		go s.renderLoop(r, renderCh, compCh)
+		go s.compositeLoop(r, comms[r], compCh)
+	}
+	go s.schedule()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		s.teardownEarly()
+		return nil, err
+	}
+	s.ln = ln
+	if cfg.HTTPAddr != "" {
+		httpLn, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			s.teardownEarly()
+			return nil, err
+		}
+		s.httpLn = httpLn
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		mux.HandleFunc("/metrics", s.handleMetrics)
+		s.httpSrv = &http.Server{Handler: mux}
+		go s.httpSrv.Serve(httpLn)
+	}
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// teardownEarly unwinds a half-started server (listen failed).
+func (s *Server) teardownEarly() {
+	close(s.stop)
+	<-s.schedDone
+	s.pipeWG.Wait()
+	s.world.forceStop()
+}
+
+// Addr returns the frame-protocol listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// HTTPAddr returns the sidecar listen address, nil when disabled.
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.poisonErr(); err != nil {
+		http.Error(w, fmt.Sprintf("pipeline failed: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.WriteProm(w)
+}
+
+func (s *Server) poison(err error) {
+	e := err
+	s.poisoned.CompareAndSwap(nil, &e)
+	// Fail blocked receives so every rank drains instead of waiting out
+	// its timeout against a dead partner.
+	s.world.forceStop()
+}
+
+func (s *Server) poisonErr() error {
+	if p := s.poisoned.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ---- pipeline ----
+
+// schedule moves admitted jobs from the queue into the rank pool,
+// bounded by the in-flight tokens. It owns deadline cancellation for
+// queued jobs: a job whose deadline passed while waiting is answered
+// without touching the world.
+func (s *Server) schedule() {
+	defer close(s.schedDone)
+	for {
+		select {
+		case <-s.stop:
+			s.failQueued()
+			for _, ch := range s.renderChs {
+				close(ch)
+			}
+			return
+		case j := <-s.queue:
+			if time.Now().After(j.deadline) {
+				s.met.requestFailed(CodeDeadline)
+				j.finish(reply{code: CodeDeadline, err: errors.New("deadline expired while queued")})
+				continue
+			}
+			select {
+			case s.tokens <- struct{}{}:
+			case <-s.stop:
+				j.finish(reply{code: CodeShutdown, err: errors.New("server shutting down")})
+				s.met.requestFailed(CodeShutdown)
+				s.failQueued()
+				for _, ch := range s.renderChs {
+					close(ch)
+				}
+				return
+			}
+			s.met.inflight.Add(1)
+			j.dispatched = time.Now()
+			for _, ch := range s.renderChs {
+				ch <- j // never blocks: token bound ≥ channel backlog
+			}
+		}
+	}
+}
+
+func (s *Server) failQueued() {
+	for {
+		select {
+		case j := <-s.queue:
+			s.met.requestFailed(CodeShutdown)
+			j.finish(reply{code: CodeShutdown, err: errors.New("server shutting down")})
+		default:
+			return
+		}
+	}
+}
+
+func (s *Server) renderLoop(me int, in <-chan *job, out chan<- rendered) {
+	defer s.pipeWG.Done()
+	defer close(out)
+	for j := range in {
+		start := time.Now()
+		img := j.plan.RenderRank(me)
+		if me == 0 {
+			j.renderNS.Store(int64(time.Since(start)))
+		}
+		out <- rendered{job: j, img: img}
+	}
+}
+
+func (s *Server) compositeLoop(me int, c mp.Comm, in <-chan rendered) {
+	defer s.pipeWG.Done()
+	for rj := range in {
+		j := rj.job
+		var img *frame.Image
+		res, err := j.plan.CompositeRank(c, rj.img)
+		if err == nil {
+			img, err = j.plan.GatherRank(c, res)
+		}
+		// Bytes-on-wire for this frame, from the rank's message log; the
+		// log is reset per frame so a long-lived comm does not accumulate
+		// entries without bound.
+		recv := int64(c.Log().BytesReceived(""))
+		c.Log().Reset()
+		s.met.wire.Add(recv)
+		j.wireBytes.Add(recv)
+
+		if err != nil {
+			s.poison(fmt.Errorf("rank %d: %w", me, err))
+		}
+		if me == 0 {
+			<-s.tokens
+			s.met.inflight.Add(-1)
+			if err != nil {
+				s.met.requestFailed(CodeInternal)
+				j.finish(reply{code: CodeInternal, err: err})
+			} else {
+				j.finish(reply{img: img})
+			}
+		}
+	}
+}
+
+// ---- admission and connections ----
+
+// submit validates, admits and waits for one request; it always returns
+// a response (the typed-error path never hangs the caller).
+func (s *Server) submit(req Request) (*Response, *frame.Image) {
+	if err := s.poisonErr(); err != nil {
+		s.met.requestFailed(CodeInternal)
+		return &Response{Code: CodeInternal, Error: fmt.Sprintf("pipeline failed: %v", err)}, nil
+	}
+	cfg := harness.Config{
+		Dataset: req.Dataset,
+		Width:   req.Width, Height: req.Height,
+		P:      s.cfg.P,
+		Method: req.Method,
+		RotX:   req.RotX, RotY: req.RotY,
+		RenderOpts: render.Options{Shaded: req.Shaded, Workers: s.cfg.Workers},
+	}
+	if cfg.Method == "" {
+		cfg.Method = "bsbrc"
+	}
+	if err := cfg.Check(); err != nil {
+		s.met.requestFailed(CodeBadRequest)
+		return &Response{Code: CodeBadRequest, Error: err.Error()}, nil
+	}
+	plan, err := harness.NewPlan(cfg)
+	if err != nil {
+		s.met.requestFailed(CodeBadRequest)
+		return &Response{Code: CodeBadRequest, Error: err.Error()}, nil
+	}
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	now := time.Now()
+	j := &job{
+		plan:     plan,
+		method:   cfg.Method,
+		admitted: now,
+		deadline: now.Add(deadline),
+		done:     make(chan reply, 1),
+	}
+
+	// The closed check and the enqueue are one critical section: Shutdown
+	// sets closed under the same lock before the scheduler drains the
+	// queue, so a job admitted here is guaranteed to be seen (and thus
+	// answered) by the scheduler — no request can fall between admission
+	// and drain and hang its handler.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.met.requestFailed(CodeShutdown)
+		return &Response{Code: CodeShutdown, Error: "server shutting down"}, nil
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		// Admission control: reject now rather than queue unboundedly.
+		s.met.requestFailed(CodeOverloaded)
+		return &Response{Code: CodeOverloaded,
+			Error: fmt.Sprintf("admission queue full (%d deep)", cap(s.queue))}, nil
+	}
+
+	rep := <-j.done
+	if rep.code != "" {
+		return &Response{Code: rep.code, Error: rep.err.Error()}, nil
+	}
+	total := time.Since(j.admitted)
+	s.met.frameDone(j.method, total)
+	return &Response{
+		OK:    true,
+		Width: req.Width, Height: req.Height,
+		Stats: FrameStats{
+			QueueMS:   float64(j.dispatched.Sub(j.admitted)) / 1e6,
+			RenderMS:  float64(j.renderNS.Load()) / 1e6,
+			TotalMS:   float64(total) / 1e6,
+			WireBytes: j.wireBytes.Load(),
+		},
+	}, rep.img
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		var req Request
+		if err := ReadJSON(conn, MaxRequestFrame, &req); err != nil {
+			return // EOF, deadline from Shutdown, or garbage framing
+		}
+		resp, img := s.submit(req)
+		if err := WriteJSON(conn, resp); err != nil {
+			return
+		}
+		if resp.OK {
+			if err := WriteFrame(conn, img.AppendGray(nil)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Shutdown stops the server: admission is closed, queued jobs are
+// answered with CodeShutdown, in-flight frames finish and are delivered,
+// then the resident world quiesces and every listener and connection is
+// closed. If ctx expires first, blocked ranks are force-stopped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.ln.Close()
+		close(s.stop)
+	})
+
+	// Scheduler drains the queue and closes the rank pipelines.
+	<-s.schedDone
+
+	// Wait for in-flight frames; on timeout, cancel through the world so
+	// blocked receives fail instead of waiting out their timeout.
+	pipeDone := make(chan struct{})
+	go func() { s.pipeWG.Wait(); close(pipeDone) }()
+	var err error
+	select {
+	case <-pipeDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.world.forceStop()
+		<-pipeDone
+	}
+
+	// Unblock idle connection readers, then wait for handlers to finish
+	// writing their last reply; force-close stragglers at the deadline.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	connDone := make(chan struct{})
+	go func() { s.connWG.Wait(); close(connDone) }()
+	select {
+	case <-connDone:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-connDone
+	}
+
+	if werr := s.world.shutdown(ctx); werr != nil && err == nil {
+		err = werr
+	}
+	if s.httpSrv != nil {
+		if herr := s.httpSrv.Shutdown(ctx); herr != nil && err == nil {
+			err = herr
+		}
+	}
+	return err
+}

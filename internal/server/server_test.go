@@ -1,0 +1,122 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"sortlast/internal/client"
+	"sortlast/internal/server"
+)
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	srv, err := server.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(srv.Addr().String())
+	t.Cleanup(func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, cl
+}
+
+func TestBadRequestsAreTyped(t *testing.T) {
+	_, cl := startServer(t, server.Config{P: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cases := []server.Request{
+		{Dataset: "nope", Method: "bsbrc", Width: 32, Height: 32},
+		{Dataset: "cube", Method: "nope", Width: 32, Height: 32},
+		{Dataset: "cube", Method: "bsbrc", Width: 0, Height: 32},
+		{Dataset: "cube", Method: "bsbrc", Width: 32, Height: -3},
+	}
+	for _, req := range cases {
+		if _, err := cl.Render(ctx, req); !errors.Is(err, client.ErrBadRequest) {
+			t.Errorf("request %+v: got %v, want ErrBadRequest", req, err)
+		}
+	}
+	// The connection stays usable after typed errors.
+	if _, err := cl.Render(ctx, server.Request{Dataset: "cube", Width: 32, Height: 32}); err != nil {
+		t.Errorf("valid request after typed errors: %v", err)
+	}
+}
+
+// A queued request whose deadline expires before dispatch is cancelled
+// at the scheduler, never entering the rank pool.
+func TestQueuedDeadlineCancels(t *testing.T) {
+	_, cl := startServer(t, server.Config{P: 2, MaxInFlight: 1, QueueDepth: 8})
+	heavy := server.Request{Dataset: "cube", Method: "bsbrc", Width: 384, Height: 384}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // one in flight, one queued ahead
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			if _, err := cl.Render(ctx, heavy); err != nil {
+				t.Errorf("heavy frame: %v", err)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the heavy frames occupy the pipeline
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	_, err := cl.Render(ctx, server.Request{
+		Dataset: "cube", Method: "bsbrc", Width: 32, Height: 32, DeadlineMS: 1,
+	})
+	if !errors.Is(err, client.ErrDeadline) {
+		t.Errorf("short-deadline queued request: got %v, want ErrDeadline", err)
+	}
+	wg.Wait()
+}
+
+// The mpnet resident world serves frames identical to the in-process
+// world and tears down cleanly.
+func TestServeOverMPNetWorld(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, err := server.Start(server.Config{
+		Addr: "127.0.0.1:0", World: "mpnet", P: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(srv.Addr().String())
+	req := server.Request{Dataset: "cube", Method: "bsbr", Width: 48, Height: 48, RotY: 20}
+	ref := referenceGray(t, req, 2, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	f, err := cl.Render(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Gray, ref) {
+		t.Error("mpnet-served frame differs from one-shot harness run")
+	}
+	cl.Close()
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	waitNoLeaks(t, before)
+}
+
+func TestUnknownWorldKind(t *testing.T) {
+	if _, err := server.Start(server.Config{World: "smoke", Addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("unknown world kind must fail Start")
+	}
+}

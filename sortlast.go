@@ -177,12 +177,7 @@ func finish(row *harness.Row, img *frame.Image, err error) (*Result, error) {
 		return nil, err
 	}
 	w, h := img.Full().Dx(), img.Full().Dy()
-	out := &Image{Width: w, Height: h, Gray: make([]uint8, w*h), img: img}
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			out.Gray[y*w+x] = img.At(x, y).Gray()
-		}
-	}
+	out := &Image{Width: w, Height: h, Gray: img.AppendGray(nil), img: img}
 	return &Result{
 		Image: out,
 		Stats: Stats{
