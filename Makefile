@@ -27,6 +27,8 @@ bench:
 	$(GO) test -run xxx -bench BenchmarkCompositeAllocs -benchmem .
 
 # bench-json measures the serving tier (frames/sec, p50/p99 latency at
-# P=4 and P=8) and writes BENCH_serve.json.
+# P=4 and P=8) and writes BENCH_serve.json. Fails loudly when the
+# in-process renderd cannot start or serve.
 bench-json:
-	$(GO) run ./cmd/servebench -out BENCH_serve.json
+	@$(GO) run ./cmd/servebench -out BENCH_serve.json || \
+		{ echo "bench-json: FAILED -- servebench could not start or drive renderd (see error above); BENCH_serve.json not updated" >&2; exit 1; }

@@ -39,6 +39,7 @@ import (
 	"sortlast/internal/partition"
 	"sortlast/internal/render"
 	"sortlast/internal/stats"
+	"sortlast/internal/trace"
 	"sortlast/internal/volume"
 )
 
@@ -326,6 +327,51 @@ func BenchmarkCompositeAllocs(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					img.CopyFrom(env.imgs[c.Rank()])
 					if _, err := comp.Composite(c, env.dec, env.cam.Dir, &img); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkCompositeAllocsTraced is BenchmarkCompositeAllocs with a span
+// recorder attached and reset per frame — compare against the untraced
+// variant to see the tracing overhead on the compositing data path
+// (steady-state span recording reuses buffer capacity, so allocs/op
+// should match the untraced numbers).
+func BenchmarkCompositeAllocsTraced(b *testing.B) {
+	for _, m := range []string{"bs", "bsbrc"} {
+		b.Run(m, func(b *testing.B) {
+			env := getEnv(b, "engine_high", 384, 8, paperRotX, paperRotY)
+			comp, err := core.New(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := trace.NewRecorder(env.p)
+			b.ReportAllocs()
+			b.ResetTimer()
+			err = mp.Run(env.p, benchWorldOpts(), func(c mp.Comm) error {
+				c.SetTracer(rec.Rank(c.Rank()))
+				var img frame.Image
+				for i := 0; i < b.N; i++ {
+					img.CopyFrom(env.imgs[c.Rank()])
+					if _, err := comp.Composite(c, env.dec, env.cam.Dir, &img); err != nil {
+						return err
+					}
+					// All ranks finish the frame before rank 0 resets the
+					// shared recorder for the next one.
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						rec.Reset()
+					}
+					if err := c.Barrier(); err != nil {
 						return err
 					}
 				}

@@ -17,19 +17,25 @@ import (
 
 	"sortlast/internal/harness"
 	"sortlast/internal/report"
+	"sortlast/internal/trace"
 )
 
 var (
-	table   = flag.Int("table", 0, "regenerate Table 1 or 2")
-	figure  = flag.Int("figure", 0, "regenerate Figure 8, 9, 10 or 11")
-	mmax    = flag.Bool("mmax", false, "regenerate the Eq. 9 M_max comparison")
-	all     = flag.Bool("all", false, "regenerate every table and figure")
-	dataset = flag.String("dataset", "", "restrict to one dataset (engine_low, engine_high, head, cube)")
-	maxP    = flag.Int("maxp", 64, "largest processor count in the sweep")
-	rotX    = flag.Float64("rotx", 20, "viewpoint rotation about x (degrees)")
-	rotY    = flag.Float64("roty", 30, "viewpoint rotation about y (degrees)")
-	csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	table    = flag.Int("table", 0, "regenerate Table 1 or 2")
+	figure   = flag.Int("figure", 0, "regenerate Figure 8, 9, 10 or 11")
+	mmax     = flag.Bool("mmax", false, "regenerate the Eq. 9 M_max comparison")
+	all      = flag.Bool("all", false, "regenerate every table and figure")
+	dataset  = flag.String("dataset", "", "restrict to one dataset (engine_low, engine_high, head, cube)")
+	maxP     = flag.Int("maxp", 64, "largest processor count in the sweep")
+	rotX     = flag.Float64("rotx", 20, "viewpoint rotation about x (degrees)")
+	rotY     = flag.Float64("roty", 30, "viewpoint rotation about y (degrees)")
+	csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	traceOut = flag.String("trace", "", "write a Chrome/Perfetto span trace of the last sweep cell to this JSON file")
 )
+
+// lastTrace is the recorder of the most recently completed sweep cell,
+// written to -trace after the sweep finishes.
+var lastTrace *trace.Recorder
 
 var figureDataset = map[int]string{
 	8:  "engine_low",
@@ -59,10 +65,15 @@ func sweep(size int, methods []string, ds []string) ([]harness.Row, error) {
 	for _, d := range ds {
 		for _, m := range methods {
 			for _, p := range harness.PowersOfTwo(*maxP) {
-				row, err := harness.Run(harness.Config{
+				cfg := harness.Config{
 					Dataset: d, Width: size, Height: size,
 					P: p, Method: m, RotX: *rotX, RotY: *rotY,
-				})
+				}
+				if *traceOut != "" {
+					cfg.Trace = trace.NewRecorder(p)
+					lastTrace = cfg.Trace
+				}
+				row, err := harness.Run(cfg)
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s/P%d: %w", d, m, p, err)
 				}
@@ -157,6 +168,23 @@ func run() error {
 	if !did {
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -table, -figure, -mmax or -all")
+	}
+	if *traceOut != "" {
+		if lastTrace == nil {
+			return fmt.Errorf("-trace: no sweep cell ran")
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		werr := trace.WritePerfetto(f, lastTrace)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace %s: %w", *traceOut, werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace %s (last sweep cell; load in ui.perfetto.dev)\n", *traceOut)
 	}
 	return nil
 }

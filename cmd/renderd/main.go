@@ -4,8 +4,9 @@
 // length-prefixed TCP protocol, with admission control, pipelined
 // frames and an HTTP observability sidecar.
 //
-//	renderd -listen 127.0.0.1:7171 -http 127.0.0.1:7172 -p 8 &
+//	renderd -listen 127.0.0.1:7171 -metrics-addr 127.0.0.1:7172 -p 8 &
 //	curl -s http://127.0.0.1:7172/metrics | grep renderd_frames_total
+//	curl -s http://127.0.0.1:7172/debug/trace/last > frame.json  # Perfetto
 //
 // Requests are made with the internal/client library (see
 // cmd/servebench for a load-driving example). SIGINT/SIGTERM drain the
@@ -27,16 +28,18 @@ import (
 )
 
 var (
-	listen   = flag.String("listen", "127.0.0.1:7171", "frame-protocol listen address")
-	httpAddr = flag.String("http", "127.0.0.1:7172", "observability sidecar address (/healthz, /metrics); empty disables")
-	world    = flag.String("world", "mp", "resident rank pool kind: mp (in-process) or mpnet (TCP)")
-	addrs    = flag.String("world-addrs", "", "comma-separated mpnet rank addresses (default: loopback ephemeral)")
-	p        = flag.Int("p", 4, "resident ranks")
-	queue    = flag.Int("queue", 64, "admission queue depth (full queue rejects with a typed overload error)")
-	inflight = flag.Int("inflight", 2, "max frames pipelined through the render/composite stages")
-	deadline = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
-	workers  = flag.Int("workers", 0, "ray-casting workers per rank (0: GOMAXPROCS)")
-	drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+	listen      = flag.String("listen", "127.0.0.1:7171", "frame-protocol listen address")
+	metricsAddr = flag.String("metrics-addr", "127.0.0.1:7172", "observability sidecar address serving /healthz, /metrics, /debug/pprof/ and /debug/trace/last; empty disables")
+	httpAddr    = flag.String("http", "", "alias for -metrics-addr (kept for compatibility)")
+	noTrace     = flag.Bool("no-trace", false, "disable the per-frame span recorder (also empties /debug/trace/last and the phase histograms)")
+	world       = flag.String("world", "mp", "resident rank pool kind: mp (in-process) or mpnet (TCP)")
+	addrs       = flag.String("world-addrs", "", "comma-separated mpnet rank addresses (default: loopback ephemeral)")
+	p           = flag.Int("p", 4, "resident ranks")
+	queue       = flag.Int("queue", 64, "admission queue depth (full queue rejects with a typed overload error)")
+	inflight    = flag.Int("inflight", 2, "max frames pipelined through the render/composite stages")
+	deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	workers     = flag.Int("workers", 0, "ray-casting workers per rank (0: GOMAXPROCS)")
+	drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 )
 
 func main() {
@@ -52,9 +55,17 @@ func run() error {
 	if *addrs != "" {
 		worldAddrs = strings.Split(*addrs, ",")
 	}
+	// -metrics-addr is canonical; -http remains as an alias and loses if
+	// both are set explicitly.
+	sidecar := *metricsAddr
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["http"] && !set["metrics-addr"] {
+		sidecar = *httpAddr
+	}
 	srv, err := server.Start(server.Config{
 		Addr:            *listen,
-		HTTPAddr:        *httpAddr,
+		HTTPAddr:        sidecar,
 		World:           *world,
 		WorldAddrs:      worldAddrs,
 		P:               *p,
@@ -62,6 +73,7 @@ func run() error {
 		MaxInFlight:     *inflight,
 		DefaultDeadline: *deadline,
 		Workers:         *workers,
+		DisableTracing:  *noTrace,
 	})
 	if err != nil {
 		return err
@@ -69,7 +81,7 @@ func run() error {
 	fmt.Printf("renderd: serving frames on %s (world=%s, P=%d, queue=%d, inflight=%d)\n",
 		srv.Addr(), *world, *p, *queue, *inflight)
 	if a := srv.HTTPAddr(); a != nil {
-		fmt.Printf("renderd: /healthz and /metrics on http://%s\n", a)
+		fmt.Printf("renderd: /healthz, /metrics, /debug/pprof/ and /debug/trace/last on http://%s\n", a)
 	}
 
 	sig := make(chan os.Signal, 1)

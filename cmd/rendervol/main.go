@@ -10,8 +10,11 @@ import (
 	"fmt"
 	"os"
 
+	"sortlast/internal/costmodel"
 	"sortlast/internal/harness"
 	"sortlast/internal/render"
+	"sortlast/internal/report"
+	"sortlast/internal/trace"
 	"sortlast/internal/transfer"
 	"sortlast/internal/volume"
 )
@@ -33,6 +36,7 @@ var (
 	surface  = flag.Bool("surface", false, "surface rendering: isosurface extraction + rasterization")
 	iso      = flag.Int("iso", 128, "iso level for -surface (0-255)")
 	flat     = flag.Bool("flat", false, "flat (quantized) shading for -surface")
+	traceOut = flag.String("trace", "", "write a Chrome/Perfetto span trace of the run to this JSON file and print the measured-vs-modeled stage report")
 )
 
 func main() {
@@ -89,7 +93,12 @@ func run() error {
 		return fmt.Errorf("pass -dataset or -in")
 	}
 
-	row, img, err := harness.RunWithImage(cfg)
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(*p)
+		cfg.Trace = rec
+	}
+	row, img, ranks, err := harness.RunFull(cfg)
 	if err != nil {
 		return err
 	}
@@ -100,6 +109,21 @@ func run() error {
 		fmt.Printf("%s %s P=%d %dx%d: render %.1f ms, composite (modeled SP2) comp %.2f + comm %.2f = %.2f ms, M_max %d B\n",
 			row.Dataset, row.Method, row.P, row.Width, row.Height,
 			row.RenderMS, row.CompMS, row.CommMS, row.TotalMS, row.MMax)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		werr := trace.WritePerfetto(f, rec)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace %s: %w", *traceOut, werr)
+		}
+		fmt.Printf("wrote trace %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+		fmt.Print(report.MeasuredVsModeled(rec, ranks, costmodel.SP2()))
 	}
 	if *validate {
 		fmt.Printf("validated against sequential reference (max diff %.2g)\n", row.ValidateDiff)

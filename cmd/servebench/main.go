@@ -29,6 +29,7 @@ var (
 	inflight = flag.Int("inflight", 2, "max frames pipelined through the stages")
 	conc     = flag.Int("conc", 8, "concurrent client requests")
 	out      = flag.String("out", "BENCH_serve.json", "output path (- for stdout)")
+	metrics  = flag.String("metrics-addr", "", "observability sidecar address for the in-process renderd (/healthz, /metrics, /debug/pprof/, /debug/trace/last); empty (the default) disables")
 )
 
 // record is one benchmark configuration's result.
@@ -79,12 +80,13 @@ func run() error {
 func bench(p int, method string) (record, error) {
 	srv, err := server.Start(server.Config{
 		Addr: "127.0.0.1:0", P: p,
+		HTTPAddr:        *metrics,
 		QueueDepth:      2 * *frames,
 		MaxInFlight:     *inflight,
 		DefaultDeadline: 5 * time.Minute,
 	})
 	if err != nil {
-		return record{}, err
+		return record{}, fmt.Errorf("in-process renderd failed to start (world=mp, P=%d): %w", p, err)
 	}
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)

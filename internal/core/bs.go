@@ -7,6 +7,7 @@ import (
 	"sortlast/internal/mp"
 	"sortlast/internal/partition"
 	"sortlast/internal/stats"
+	"sortlast/internal/trace"
 )
 
 // BS is the plain binary-swap compositing method of Ma et al. (§3.1): at
@@ -26,18 +27,23 @@ func (BS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float64,
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BS"}
 	var timer stats.Timer
+	tr := c.Tracer()
 	ar := getArena()
 	defer putArena(ar)
 	region := img.Full()
 
 	for stage := 1; stage <= dec.Stages(); stage++ {
-		c.SetStage(stageLabel(stage))
+		lbl := stageLabel(stage)
+		c.SetStage(lbl)
+		sm := tr.Begin()
 		keep, send := stageHalves(dec, c.Rank(), stage, region)
 		partner := dec.Partner(c.Rank(), stage)
 
+		em := tr.Begin()
 		timer.Start()
 		payload := frame.EncodeRegion(img, send, ar.codec.Grab(send.Area()*frame.PixelBytes))
 		timer.Stop()
+		tr.End(em, trace.SpanEncode, lbl)
 
 		recv, err := c.Sendrecv(partner, tagSwap, payload)
 		if err != nil {
@@ -49,9 +55,11 @@ func (BS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float64,
 				stage, len(recv), keep.Area())
 		}
 
+		cm := tr.Begin()
 		timer.Start()
 		ops := img.CompositeWire(keep, recv, partnerInFront(dec, c.Rank(), stage, viewDir))
 		timer.Stop()
+		tr.End(cm, trace.SpanComposite, lbl)
 
 		s := st.StageAt(stage)
 		s.RecvPixels = keep.Area()
@@ -61,6 +69,7 @@ func (BS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float64,
 		s.BytesRecv = len(recv)
 		s.MsgsSent, s.MsgsRecv = 1, 1
 
+		tr.End(sm, lbl, lbl)
 		region = keep
 	}
 	st.CompWall = timer.Total()

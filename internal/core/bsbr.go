@@ -7,6 +7,7 @@ import (
 	"sortlast/internal/mp"
 	"sortlast/internal/partition"
 	"sortlast/internal/stats"
+	"sortlast/internal/trace"
 )
 
 // BSBR is binary-swap with bounding rectangle (§3.2): each rank tracks
@@ -29,20 +30,26 @@ func (BSBR) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSBR"}
 	var timer stats.Timer
+	tr := c.Tracer()
 	ar := getArena()
 	defer putArena(ar)
 	region := img.Full()
 
+	bm := tr.Begin()
 	timer.Start()
 	localBR, scanned := img.BoundingRect(region)
 	timer.Stop()
+	tr.End(bm, trace.SpanBound, "")
 	st.BoundScan = scanned
 
 	for stage := 1; stage <= dec.Stages(); stage++ {
-		c.SetStage(stageLabel(stage))
+		lbl := stageLabel(stage)
+		c.SetStage(lbl)
+		sm := tr.Begin()
 		keep, send := stageHalves(dec, c.Rank(), stage, region)
 		partner := dec.Partner(c.Rank(), stage)
 
+		em := tr.Begin()
 		timer.Start()
 		sendBR := localBR.Intersect(send)
 		keepBR := localBR.Intersect(keep)
@@ -51,6 +58,7 @@ func (BSBR) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 			payload = frame.EncodeRegion(img, sendBR, payload)
 		}
 		timer.Stop()
+		tr.End(em, trace.SpanEncode, lbl)
 
 		recv, err := c.Sendrecv(partner, tagSwap, payload)
 		if err != nil {
@@ -85,12 +93,15 @@ func (BSBR) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 				return nil, fmt.Errorf("bsbr: stage %d: %d body bytes for rect %v",
 					stage, len(body), recvBR)
 			}
+			cm := tr.Begin()
 			timer.Start()
 			s.Composited = img.CompositeWire(recvBR, body,
 				partnerInFront(dec, c.Rank(), stage, viewDir))
 			timer.Stop()
+			tr.End(cm, trace.SpanComposite, lbl)
 		}
 
+		tr.End(sm, lbl, lbl)
 		localBR = keepBR.Union(recvBR)
 		region = keep
 	}

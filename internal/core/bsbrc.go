@@ -8,6 +8,7 @@ import (
 	"sortlast/internal/partition"
 	"sortlast/internal/rle"
 	"sortlast/internal/stats"
+	"sortlast/internal/trace"
 )
 
 // BSBRC is binary-swap with bounding rectangle and run-length encoding
@@ -29,23 +30,29 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSBRC"}
 	var timer stats.Timer
+	tr := c.Tracer()
 	ar := getArena()
 	defer putArena(ar)
 	region := img.Full()
 
 	// Algorithm step 3-4: find the local bounding rectangle once.
+	bm := tr.Begin()
 	timer.Start()
 	localBR, scanned := img.BoundingRect(region)
 	timer.Stop()
+	tr.End(bm, trace.SpanBound, "")
 	st.BoundScan = scanned
 
 	for stage := 1; stage <= dec.Stages(); stage++ {
-		c.SetStage(stageLabel(stage))
+		lbl := stageLabel(stage)
+		c.SetStage(lbl)
+		sm := tr.Begin()
 		keep, send := stageHalves(dec, c.Rank(), stage, region)
 		partner := dec.Partner(c.Rank(), stage)
 
 		// Steps 6-13: split the bounding rectangle at the centerline,
 		// encode the sending part, pack rectangle + codes + pixels.
+		em := tr.Begin()
 		timer.Start()
 		sendBR := localBR.Intersect(send)
 		keepBR := localBR.Intersect(keep)
@@ -59,6 +66,7 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 			s.SentPixels = len(ar.enc.NonBlank)
 		}
 		timer.Stop()
+		tr.End(em, trace.SpanEncode, lbl)
 
 		// Steps 13-14: exchange with the paired processor.
 		recv, err := c.Sendrecv(partner, tagSwap, payload)
@@ -88,6 +96,7 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 				return nil, fmt.Errorf("bsbrc: stage %d: received rect %v outside kept half %v",
 					stage, recvBR, keep)
 			}
+			cm := tr.Begin()
 			timer.Start()
 			e, rest, err := rle.ParseWire(recv[frame.RectBytes:])
 			if err != nil {
@@ -121,9 +130,11 @@ func (BSBRC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 				composited++
 			})
 			timer.Stop()
+			tr.End(cm, trace.SpanComposite, lbl)
 			s.Composited = composited
 		}
 
+		tr.End(sm, lbl, lbl)
 		// Step 21: the new local bounding rectangle is the O(1) union.
 		localBR = keepBR.Union(recvBR)
 		region = keep

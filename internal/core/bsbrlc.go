@@ -8,6 +8,7 @@ import (
 	"sortlast/internal/partition"
 	"sortlast/internal/rle"
 	"sortlast/internal/stats"
+	"sortlast/internal/trace"
 )
 
 // BSBRLC combines all three of the paper's techniques, in the spirit of
@@ -37,6 +38,7 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSBRLC"}
 	var timer stats.Timer
+	tr := c.Tracer()
 	ar := getArena()
 	defer putArena(ar)
 	w := img.Full().Dx()
@@ -47,15 +49,20 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 	own0 := [1]Interval{{Lo: 0, Hi: img.Full().Area()}}
 	own := own0[:]
 
+	bm := tr.Begin()
 	timer.Start()
 	localBR, scanned := img.BoundingRect(img.Full())
 	timer.Stop()
+	tr.End(bm, trace.SpanBound, "")
 	st.BoundScan = scanned
 
 	for stage := 1; stage <= dec.Stages(); stage++ {
-		c.SetStage(stageLabel(stage))
+		lbl := stageLabel(stage)
+		c.SetStage(lbl)
+		sm := tr.Begin()
 		partner := dec.Partner(c.Rank(), stage)
 
+		em := tr.Begin()
 		timer.Start()
 		pair := (stage % 2) * 2
 		evens, odds := splitInterleavedInto(own, g, ar.iv[pair][:0], ar.iv[pair+1][:0])
@@ -70,6 +77,7 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 		payload := ar.rect(localBR, enc.WireBytes()+16)
 		payload = enc.Pack(payload)
 		timer.Stop()
+		tr.End(em, trace.SpanEncode, lbl)
 
 		recv, err := c.Sendrecv(partner, tagSwap, payload)
 		if err != nil {
@@ -81,6 +89,7 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 		}
 		recvBR := frame.GetRect(recv)
 
+		cm := tr.Begin()
 		timer.Start()
 		e, rest, err := rle.ParseWire(recv[frame.RectBytes:])
 		if err != nil {
@@ -114,6 +123,7 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 			composited++
 		})
 		timer.Stop()
+		tr.End(cm, trace.SpanComposite, lbl)
 
 		s := st.StageAt(stage)
 		s.RecvPixels = keepLen
@@ -127,6 +137,7 @@ func (m BSBRLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]fl
 		s.RecvRectEmpty = recvBR.Empty()
 		s.SendRectEmpty = localBR.Empty()
 
+		tr.End(sm, lbl, lbl)
 		// The kept pixels stay inside localBR; received non-blanks lie
 		// inside the partner's rectangle. O(1) update, as in BSBR.
 		localBR = localBR.Union(recvBR)

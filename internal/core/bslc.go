@@ -8,6 +8,7 @@ import (
 	"sortlast/internal/partition"
 	"sortlast/internal/rle"
 	"sortlast/internal/stats"
+	"sortlast/internal/trace"
 )
 
 // BSLC is binary-swap with run-length encoding and static load balancing
@@ -34,6 +35,7 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 	}
 	st := &stats.Rank{RankID: c.Rank(), Method: "BSLC"}
 	var timer stats.Timer
+	tr := c.Tracer()
 	ar := getArena()
 	defer putArena(ar)
 	w := img.Full().Dx()
@@ -45,9 +47,12 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 	own := own0[:]
 
 	for stage := 1; stage <= dec.Stages(); stage++ {
-		c.SetStage(stageLabel(stage))
+		lbl := stageLabel(stage)
+		c.SetStage(lbl)
+		sm := tr.Begin()
 		partner := dec.Partner(c.Rank(), stage)
 
+		em := tr.Begin()
 		timer.Start()
 		pair := (stage % 2) * 2
 		evens, odds := splitInterleavedInto(own, g, ar.iv[pair][:0], ar.iv[pair+1][:0])
@@ -61,6 +66,7 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 		encodeIntervals(img, w, send, &ar.enc)
 		payload := ar.enc.Pack(ar.codec.Grab(8 + ar.enc.WireBytes()))
 		timer.Stop()
+		tr.End(em, trace.SpanEncode, lbl)
 
 		recv, err := c.Sendrecv(partner, tagSwap, payload)
 		if err != nil {
@@ -68,6 +74,7 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 		}
 		ar.codec.Retain(payload)
 
+		cm := tr.Begin()
 		timer.Start()
 		e, rest, err := rle.ParseWire(recv)
 		if err != nil {
@@ -104,6 +111,7 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 			composited++
 		})
 		timer.Stop()
+		tr.End(cm, trace.SpanComposite, lbl)
 
 		s := st.StageAt(stage)
 		s.RecvPixels = keepLen
@@ -115,6 +123,7 @@ func (m BSLC) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]floa
 		s.BytesRecv = len(recv)
 		s.MsgsSent, s.MsgsRecv = 1, 1
 
+		tr.End(sm, lbl, lbl)
 		own = keep
 	}
 	st.CompWall = timer.Total()

@@ -70,6 +70,13 @@ func (p Params) Rank(r *stats.Rank) Cost {
 	return c
 }
 
+// Stage evaluates the model for a single stage's counters — the
+// per-stage resolution of Rank, for reports that place modeled stage
+// costs beside measured span times.
+func (p Params) Stage(method string, s *stats.Stage) Cost {
+	return Cost{Comp: p.stageComp(method, s), Comm: p.stageComm(s)}
+}
+
 func (p Params) stageComp(method string, s *stats.Stage) time.Duration {
 	var d time.Duration
 	d += time.Duration(s.Encoded) * p.Tencode

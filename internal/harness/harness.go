@@ -20,6 +20,7 @@ import (
 	"sortlast/internal/partition"
 	"sortlast/internal/render"
 	"sortlast/internal/stats"
+	"sortlast/internal/trace"
 	"sortlast/internal/transfer"
 	"sortlast/internal/volume"
 )
@@ -82,6 +83,12 @@ type Config struct {
 	// sequential depth-order reference, recording the difference in
 	// Row.ValidateDiff and failing the run if it exceeds 1e-9.
 	Validate bool
+
+	// Trace, when set, records wall-clock spans for every phase of the
+	// run — render, per-stage encode/composite, comm waits, gather — on
+	// the recorder's per-rank tracks. nil (the default) disables tracing
+	// at zero cost.
+	Trace *trace.Recorder
 
 	// Options for the message-passing world (zero value: defaults).
 	WorldOpts mp.Options
@@ -253,6 +260,12 @@ func RunDetailed(cfg Config) (*Row, []*stats.Rank, error) {
 	return row, rs, err
 }
 
+// RunFull returns the row, the final image, and the per-rank counters —
+// everything a traced run needs for the measured-vs-modeled report.
+func RunFull(cfg Config) (*Row, *frame.Image, []*stats.Rank, error) {
+	return run(cfg, true)
+}
+
 func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) {
 	plan, err := NewPlan(cfg)
 	if err != nil {
@@ -266,6 +279,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 
 	err = mp.Run(cfg.P, cfg.WorldOpts, func(c mp.Comm) error {
 		me := c.Rank()
+		c.SetTracer(cfg.Trace.Rank(me))
 
 		var src volumeSource = plan.Vol
 		if cfg.DistributeVolume {
@@ -277,7 +291,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 		}
 
 		start := time.Now()
-		img := plan.RenderRankFrom(src, me)
+		img := plan.renderFrom(src, me, c.Tracer())
 		renderWall[me] = time.Since(start)
 
 		var pristine *frame.Image

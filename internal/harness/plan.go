@@ -9,6 +9,7 @@ import (
 	"sortlast/internal/mp"
 	"sortlast/internal/partition"
 	"sortlast/internal/render"
+	"sortlast/internal/trace"
 	"sortlast/internal/transfer"
 	"sortlast/internal/volume"
 )
@@ -56,22 +57,36 @@ func (p *Plan) Box(me int) volume.Box { return p.boxOf(me) }
 // volume and returns its subimage. Callers that distributed subvolumes
 // through the message layer use RenderRankFrom instead.
 func (p *Plan) RenderRank(me int) *frame.Image {
-	return p.RenderRankFrom(p.Vol, me)
+	return p.renderFrom(p.Vol, me, nil)
+}
+
+// RenderRankTraced is RenderRank recording a "render" span (with a
+// nested "raycast" span on the volume path) on the rank's track.
+func (p *Plan) RenderRankTraced(me int, tr *trace.Rank) *frame.Image {
+	return p.renderFrom(p.Vol, me, tr)
 }
 
 // RenderRankFrom renders rank me's subimage from src, which must cover
 // the rank's box (plus ghost cells when shading).
 func (p *Plan) RenderRankFrom(src volumeSource, me int) *frame.Image {
+	return p.renderFrom(src, me, nil)
+}
+
+func (p *Plan) renderFrom(src volumeSource, me int, tr *trace.Rank) *frame.Image {
+	m := tr.Begin()
+	defer tr.End(m, trace.SpanRender, "")
 	box := p.boxOf(me)
 	if p.Cfg.Surface {
 		iso := p.Cfg.IsoLevel
 		if iso == 0 {
 			iso = 128
 		}
-		m := mesh.Extract(src, mesh.CellsFor(box, p.Vol.Bounds()), iso)
-		return render.Rasterize(m, p.Cam, p.Cfg.RasterOpts)
+		surf := mesh.Extract(src, mesh.CellsFor(box, p.Vol.Bounds()), iso)
+		return render.Rasterize(surf, p.Cam, p.Cfg.RasterOpts)
 	}
-	return render.Raycast(src, box, p.Cam, p.TF, p.Cfg.RenderOpts)
+	opts := p.Cfg.RenderOpts
+	opts.Trace = tr
+	return render.Raycast(src, box, p.Cam, p.TF, opts)
 }
 
 // CompositeRank runs the compositing phase for one rank over a standing
@@ -79,14 +94,29 @@ func (p *Plan) RenderRankFrom(src volumeSource, me int) *frame.Image {
 // same communicator without barriers: per-(source, tag) FIFO ordering
 // keeps consecutive frames' messages correctly paired, the same
 // guarantee consecutive collectives rely on.
+//
+// When a tracer is attached to c, the whole phase is recorded as a
+// "compositing" span containing the compositor's per-stage spans.
 func (p *Plan) CompositeRank(c mp.Comm, img *frame.Image) (*core.Result, error) {
-	return p.Comp.Composite(c, p.Dec, p.Cam.Dir, img)
+	tr := c.Tracer()
+	m := tr.Begin()
+	res, err := p.Comp.Composite(c, p.Dec, p.Cam.Dir, img)
+	tr.End(m, trace.SpanCompositing, "")
+	return res, err
 }
 
 // GatherRank assembles the distributed final image at rank 0 from this
-// rank's compositing result; non-root ranks receive nil.
+// rank's compositing result; non-root ranks receive nil. Comm spans
+// issued during the gather are labeled with the "gather" stage so the
+// reports can separate them from binary-swap exchange waits.
 func (p *Plan) GatherRank(c mp.Comm, res *core.Result) (*frame.Image, error) {
-	return core.GatherImage(c, 0, res)
+	tr := c.Tracer()
+	c.SetStage(trace.StageGather)
+	m := tr.Begin()
+	img, err := core.GatherImage(c, 0, res)
+	tr.End(m, trace.SpanGather, trace.StageGather)
+	c.SetStage("")
+	return img, err
 }
 
 // Datasets lists the built-in workload names accepted by Config.Dataset.

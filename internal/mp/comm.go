@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"sortlast/internal/trace"
 )
 
 // Comm is one rank's endpoint of a communicator.
@@ -64,6 +66,15 @@ type Comm interface {
 	SetStage(stage string)
 	// Log returns this rank's message log for cost accounting.
 	Log() *MsgLog
+
+	// SetTracer attaches a span recorder: subsequent Send/Recv calls
+	// (including those inside collectives) record send-wait/recv-wait
+	// spans tagged with the current stage. nil detaches (the default).
+	SetTracer(tr *trace.Rank)
+	// Tracer returns the attached span recorder, nil when detached.
+	// Instrumented code above the comm layer (compositors, gather)
+	// records its own spans through this.
+	Tracer() *trace.Rank
 }
 
 // TagLimit bounds user-visible tags; larger tags are reserved for the

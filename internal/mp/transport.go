@@ -1,6 +1,10 @@
 package mp
 
-import "time"
+import (
+	"time"
+
+	"sortlast/internal/trace"
+)
 
 // Transport moves raw tagged messages between ranks. The in-process
 // channel transport lives in this package; a TCP transport lives in
@@ -46,18 +50,21 @@ type rawComm interface {
 
 // comm implements Comm over a Transport.
 type comm struct {
-	rank  int
-	size  int
-	tr    Transport
-	opts  Options
-	stage string
-	log   MsgLog
+	rank   int
+	size   int
+	tr     Transport
+	opts   Options
+	stage  string
+	log    MsgLog
+	tracer *trace.Rank
 }
 
-func (c *comm) Rank() int             { return c.rank }
-func (c *comm) Size() int             { return c.size }
-func (c *comm) SetStage(stage string) { c.stage = stage }
-func (c *comm) Log() *MsgLog          { return &c.log }
+func (c *comm) Rank() int                { return c.rank }
+func (c *comm) Size() int                { return c.size }
+func (c *comm) SetStage(stage string)    { c.stage = stage }
+func (c *comm) Log() *MsgLog             { return &c.log }
+func (c *comm) SetTracer(tr *trace.Rank) { c.tracer = tr }
+func (c *comm) Tracer() *trace.Rank      { return c.tracer }
 
 func (c *comm) Send(to, tag int, payload []byte) error {
 	if err := checkPeer(to, c.size); err != nil {
@@ -71,7 +78,10 @@ func (c *comm) Send(to, tag int, payload []byte) error {
 
 func (c *comm) sendRaw(to, tag int, payload []byte) error {
 	c.log.record(DirSend, to, tag, len(payload), c.stage)
-	return c.tr.Send(to, tag, payload)
+	m := c.tracer.Begin()
+	err := c.tr.Send(to, tag, payload)
+	c.tracer.End(m, trace.SpanSendWait, c.stage)
+	return err
 }
 
 func (c *comm) Recv(from, tag int) ([]byte, error) {
@@ -85,7 +95,9 @@ func (c *comm) Recv(from, tag int) ([]byte, error) {
 }
 
 func (c *comm) recvRaw(from, tag int) ([]byte, error) {
+	m := c.tracer.Begin()
 	msg, err := c.tr.Recv(from, tag, c.opts.recvTimeout())
+	c.tracer.End(m, trace.SpanRecvWait, c.stage)
 	if err != nil {
 		return nil, err
 	}

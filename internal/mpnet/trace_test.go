@@ -1,0 +1,47 @@
+package mpnet
+
+import (
+	"testing"
+
+	"sortlast/internal/mp"
+	"sortlast/internal/trace"
+)
+
+// TestTCPTraceSpans proves the span instrumentation covers the TCP
+// transport for free: mpnet builds its Comm through mp.FromTransport,
+// so send-wait/recv-wait spans wrap real socket operations.
+func TestTCPTraceSpans(t *testing.T) {
+	rec := trace.NewRecorder(2)
+	err := launch(t, 2, func(c mp.Comm) error {
+		c.SetTracer(rec.Rank(c.Rank()))
+		c.SetStage("stage1")
+		_, err := c.Sendrecv(1-c.Rank(), 5, make([]byte, 1<<16))
+		c.SetStage("")
+		c.SetTracer(nil) // keep launch's quiesce barrier out of the trace
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		spans := rec.Rank(r).Spans()
+		var sends, recvs int
+		for _, s := range spans {
+			switch s.Name {
+			case trace.SpanSendWait:
+				sends++
+			case trace.SpanRecvWait:
+				recvs++
+			}
+			if s.Stage != "stage1" {
+				t.Errorf("rank %d: span %q stage = %q, want stage1", r, s.Name, s.Stage)
+			}
+		}
+		if sends != 1 || recvs != 1 {
+			t.Fatalf("rank %d: got %d send-wait, %d recv-wait spans over TCP, want 1 each", r, sends, recvs)
+		}
+		if err := trace.ValidateNesting(spans); err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"sortlast/internal/frame"
+	"sortlast/internal/trace"
 	"sortlast/internal/transfer"
 	"sortlast/internal/volume"
 )
@@ -41,6 +42,9 @@ type Options struct {
 	// pixel is independent, so the output is bit-identical for any
 	// worker count.
 	Workers int
+	// Trace, when set, records a "raycast" span covering the scanline
+	// loop on this rank's track. nil (the default) records nothing.
+	Trace *trace.Rank
 }
 
 func (o Options) step() float64 {
@@ -82,6 +86,8 @@ func Raycast(s Sampler, box volume.Box, cam *Camera, tf *transfer.Func, opt Opti
 		return img
 	}
 	img.Grow(foot)
+	tm := opt.Trace.Begin()
+	defer opt.Trace.End(tm, trace.SpanRaycast, "")
 
 	dt := opt.step()
 	cutoff := opt.cutoff()

@@ -11,11 +11,67 @@ import (
 	"sortlast/internal/core"
 )
 
+// histogram is a Prometheus-style cumulative histogram: fixed upper
+// bounds, one mutex-guarded bump per observation. Bucket bounds are
+// shared by reference across instances (they are never mutated).
+type histogram struct {
+	buckets []float64 // upper bounds, seconds, ascending; +Inf implicit
+
+	mu     sync.Mutex
+	counts []int64 // len(buckets)+1
+	sum    float64
+	count  int64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]int64, len(buckets)+1)}
+}
+
+func (h *histogram) observe(s float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.buckets, s)
+	h.counts[i]++
+	h.sum += s
+	h.count++
+	h.mu.Unlock()
+}
+
+// write renders the histogram's sample lines (no HELP/TYPE header, so
+// several labeled instances can share one metric family). labels is
+// either empty or a `key="value"` list without braces.
+func (h *histogram) write(w io.Writer, name, labels string) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i, ub := range h.buckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, trimFloat(ub), cum)
+	}
+	cum += counts[len(h.buckets)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, count)
+	}
+}
+
+// phases of a frame with per-phase latency histograms, in export order.
+var phaseNames = []string{"render", "composite", "gather"}
+
 // metrics is renderd's observability surface, exposed as Prometheus
 // text format on the HTTP sidecar. Counters are lock-free atomics keyed
 // by pre-registered label values (methods from the core registry, the
 // protocol's error codes), so the hot path never allocates or locks; the
-// latency histogram takes a mutex only to bump one bucket.
+// latency histograms take a mutex only to bump one bucket.
 type metrics struct {
 	frames   map[string]*atomic.Int64 // completed frames per method
 	errors   map[string]*atomic.Int64 // rejected/failed requests per code
@@ -24,26 +80,27 @@ type metrics struct {
 
 	queueDepth func() int // sampled at scrape time
 
-	mu      sync.Mutex
-	buckets []float64 // upper bounds, seconds, ascending; +Inf implicit
-	counts  []int64   // len(buckets)+1
-	sum     float64
-	count   int64
+	latency *histogram            // admission-to-reply, whole request
+	phases  map[string]*histogram // per-phase (slowest rank), from spans
 }
 
 func newMetrics(queueDepth func() int) *metrics {
+	buckets := []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 	m := &metrics{
 		frames:     make(map[string]*atomic.Int64),
 		errors:     make(map[string]*atomic.Int64),
 		queueDepth: queueDepth,
-		buckets:    []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10},
+		latency:    newHistogram(buckets),
+		phases:     make(map[string]*histogram),
 	}
-	m.counts = make([]int64, len(m.buckets)+1)
 	for _, name := range core.Names() {
 		m.frames[name] = new(atomic.Int64)
 	}
 	for _, code := range []string{CodeOverloaded, CodeBadRequest, CodeDeadline, CodeShutdown, CodeInternal} {
 		m.errors[code] = new(atomic.Int64)
+	}
+	for _, p := range phaseNames {
+		m.phases[p] = newHistogram(buckets)
 	}
 	return m
 }
@@ -52,13 +109,15 @@ func (m *metrics) frameDone(method string, latency time.Duration) {
 	if c := m.frames[method]; c != nil {
 		c.Add(1)
 	}
-	s := latency.Seconds()
-	m.mu.Lock()
-	i := sort.SearchFloat64s(m.buckets, s)
-	m.counts[i]++
-	m.sum += s
-	m.count++
-	m.mu.Unlock()
+	m.latency.observe(latency.Seconds())
+}
+
+// phaseDone records one phase's completion time (the slowest rank's
+// span total for that phase).
+func (m *metrics) phaseDone(phase string, d time.Duration) {
+	if h := m.phases[phase]; h != nil {
+		h.observe(d.Seconds())
+	}
 }
 
 func (m *metrics) requestFailed(code string) {
@@ -89,21 +148,15 @@ func (m *metrics) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE renderd_wire_bytes_total counter\n")
 	fmt.Fprintf(w, "renderd_wire_bytes_total %d\n", m.wire.Load())
 
-	m.mu.Lock()
-	counts := append([]int64(nil), m.counts...)
-	sum, count := m.sum, m.count
-	m.mu.Unlock()
 	fmt.Fprintf(w, "# HELP renderd_frame_latency_seconds Admission-to-reply latency of served frames.\n")
 	fmt.Fprintf(w, "# TYPE renderd_frame_latency_seconds histogram\n")
-	cum := int64(0)
-	for i, ub := range m.buckets {
-		cum += counts[i]
-		fmt.Fprintf(w, "renderd_frame_latency_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	m.latency.write(w, "renderd_frame_latency_seconds", "")
+
+	fmt.Fprintf(w, "# HELP renderd_phase_latency_seconds Slowest-rank wall time per frame phase, from trace spans.\n")
+	fmt.Fprintf(w, "# TYPE renderd_phase_latency_seconds histogram\n")
+	for _, p := range phaseNames {
+		m.phases[p].write(w, "renderd_phase_latency_seconds", fmt.Sprintf("phase=%q", p))
 	}
-	cum += counts[len(m.buckets)]
-	fmt.Fprintf(w, "renderd_frame_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "renderd_frame_latency_seconds_sum %g\n", sum)
-	fmt.Fprintf(w, "renderd_frame_latency_seconds_count %d\n", count)
 }
 
 func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }

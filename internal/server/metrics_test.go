@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, m *metrics) string {
+	t.Helper()
+	var sb strings.Builder
+	m.WriteProm(&sb)
+	return sb.String()
+}
+
+// metricName extracts the family name of a sample line, stripping the
+// label set and the _bucket/_sum/_count histogram suffixes.
+func metricName(line string) string {
+	name := line
+	if i := strings.IndexAny(name, "{ "); i >= 0 {
+		name = name[:i]
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		name = strings.TrimSuffix(name, suf)
+	}
+	return name
+}
+
+// TestWritePromExpositionValid asserts structural validity of the text
+// exposition: every sample belongs to a family announced by HELP and
+// TYPE lines (in that order, before any sample), and every sample value
+// parses as a float.
+func TestWritePromExpositionValid(t *testing.T) {
+	m := newMetrics(func() int { return 3 })
+	m.frameDone("bsbrc", 42*time.Millisecond)
+	m.frameDone("bs", 3*time.Second)
+	m.requestFailed(CodeOverloaded)
+	m.phaseDone("render", 10*time.Millisecond)
+	m.phaseDone("composite", 2*time.Millisecond)
+	m.phaseDone("gather", 500*time.Microsecond)
+	out := scrape(t, m)
+
+	help := map[string]bool{}
+	typed := map[string]bool{}
+	samples := 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Errorf("HELP line without text: %q", line)
+			}
+			help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			if !help[name] {
+				t.Errorf("TYPE before HELP for %q", name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Errorf("unknown metric type %q in %q", kind, line)
+			}
+			typed[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unexpected comment line %q", line)
+			continue
+		}
+		samples++
+		name := metricName(line)
+		if !help[name] || !typed[name] {
+			t.Errorf("sample %q for unannounced family %q", line, name)
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("sample without value: %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("unparsable value in %q: %v", line, err)
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples in exposition")
+	}
+}
+
+// histSeries collects one labeled histogram's cumulative bucket values
+// plus its count, keyed off the exposition text.
+func histSeries(t *testing.T, out, name, labels string) (buckets []float64, count float64) {
+	t.Helper()
+	prefix := name + "_bucket{" + labels
+	countLine := name + "_count"
+	if labels != "" {
+		countLine += "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, prefix) {
+			i := strings.LastIndexByte(line, ' ')
+			v, err := strconv.ParseFloat(line[i+1:], 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			buckets = append(buckets, v)
+		}
+		if strings.HasPrefix(line, countLine+" ") {
+			i := strings.LastIndexByte(line, ' ')
+			count, _ = strconv.ParseFloat(line[i+1:], 64)
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatalf("no buckets found for %s{%s}", name, labels)
+	}
+	return buckets, count
+}
+
+// TestWritePromHistogramMonotone asserts the histogram contract: bucket
+// values are cumulative (non-decreasing in le order), the +Inf bucket
+// equals _count, and per-phase series are independent.
+func TestWritePromHistogramMonotone(t *testing.T) {
+	m := newMetrics(func() int { return 0 })
+	for _, lat := range []time.Duration{time.Millisecond, 40 * time.Millisecond, 3 * time.Second, time.Minute} {
+		m.frameDone("bsbrc", lat)
+	}
+	m.phaseDone("render", 20*time.Millisecond)
+	m.phaseDone("render", 80*time.Millisecond)
+	out := scrape(t, m)
+
+	check := func(name, labels string, wantCount float64) {
+		buckets, count := histSeries(t, out, name, labels)
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] < buckets[i-1] {
+				t.Errorf("%s{%s}: bucket %d value %g < previous %g", name, labels, i, buckets[i], buckets[i-1])
+			}
+		}
+		if last := buckets[len(buckets)-1]; last != count {
+			t.Errorf("%s{%s}: +Inf bucket %g != count %g", name, labels, last, count)
+		}
+		if count != wantCount {
+			t.Errorf("%s{%s}: count = %g, want %g", name, labels, count, wantCount)
+		}
+	}
+	check("renderd_frame_latency_seconds", "", 4)
+	check("renderd_phase_latency_seconds", fmt.Sprintf("phase=%q,", "render"), 2)
+	check("renderd_phase_latency_seconds", fmt.Sprintf("phase=%q,", "composite"), 0)
+	check("renderd_phase_latency_seconds", fmt.Sprintf("phase=%q,", "gather"), 0)
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"sortlast/internal/harness"
 	"sortlast/internal/mp"
 	"sortlast/internal/render"
+	"sortlast/internal/trace"
 )
 
 // Config describes one renderd instance.
@@ -67,6 +69,12 @@ type Config struct {
 	Workers int
 	// RecvTimeout is the rank pool's receive timeout (0: the mp default).
 	RecvTimeout time.Duration
+
+	// DisableTracing turns off the per-frame span recorder. By default
+	// every frame records per-rank spans (a few hundred appends per
+	// frame), feeding the /debug/trace/last endpoint and the per-phase
+	// latency histograms on /metrics.
+	DisableTracing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +102,11 @@ type job struct {
 	method   string
 	admitted time.Time
 	deadline time.Time
+
+	// rec is this frame's span recorder (nil when tracing is disabled).
+	// Pipelined frames overlap in the rank pool, so the recorder is
+	// per-job: each frame's spans land on its own set of rank tracks.
+	rec *trace.Recorder
 
 	dispatched time.Time    // set by the scheduler
 	renderNS   atomic.Int64 // rank 0 render wall
@@ -142,6 +155,10 @@ type Server struct {
 	connWG    sync.WaitGroup // connection handlers + accept loop
 
 	poisoned atomic.Pointer[error] // first pipeline error; world is dead
+
+	// lastTrace is the most recently completed frame's span recorder,
+	// served by /debug/trace/last.
+	lastTrace atomic.Pointer[trace.Recorder]
 
 	stopOnce sync.Once
 }
@@ -197,6 +214,15 @@ func Start(cfg Config) (*Server, error) {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/metrics", s.handleMetrics)
+		mux.HandleFunc("/debug/trace/last", s.handleTraceLast)
+		// Explicit pprof routes: the sidecar uses its own mux, so the
+		// net/http/pprof init() registrations on DefaultServeMux don't
+		// apply.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		s.httpSrv = &http.Server{Handler: mux}
 		go s.httpSrv.Serve(httpLn)
 	}
@@ -236,6 +262,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.WriteProm(w)
+}
+
+// handleTraceLast serves the most recently completed frame's span trace
+// as Chrome/Perfetto trace-event JSON (load in ui.perfetto.dev or
+// chrome://tracing).
+func (s *Server) handleTraceLast(w http.ResponseWriter, _ *http.Request) {
+	rec := s.lastTrace.Load()
+	if rec == nil {
+		http.Error(w, "no frame traced yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	trace.WritePerfetto(w, rec)
 }
 
 func (s *Server) poison(err error) {
@@ -312,7 +351,7 @@ func (s *Server) renderLoop(me int, in <-chan *job, out chan<- rendered) {
 	defer close(out)
 	for j := range in {
 		start := time.Now()
-		img := j.plan.RenderRank(me)
+		img := j.plan.RenderRankTraced(me, j.rec.Rank(me))
 		if me == 0 {
 			j.renderNS.Store(int64(time.Since(start)))
 		}
@@ -325,10 +364,15 @@ func (s *Server) compositeLoop(me int, c mp.Comm, in <-chan rendered) {
 	for rj := range in {
 		j := rj.job
 		var img *frame.Image
+		// The comm is long-lived but jobs come and go, so the tracer is
+		// attached per frame; the nil store afterwards keeps a finished
+		// job's recorder from collecting a later frame's spans.
+		c.SetTracer(j.rec.Rank(me))
 		res, err := j.plan.CompositeRank(c, rj.img)
 		if err == nil {
 			img, err = j.plan.GatherRank(c, res)
 		}
+		c.SetTracer(nil)
 		// Bytes-on-wire for this frame, from the rank's message log; the
 		// log is reset per frame so a long-lived comm does not accumulate
 		// entries without bound.
@@ -347,6 +391,12 @@ func (s *Server) compositeLoop(me int, c mp.Comm, in <-chan rendered) {
 				s.met.requestFailed(CodeInternal)
 				j.finish(reply{code: CodeInternal, err: err})
 			} else {
+				if j.rec != nil {
+					s.met.phaseDone("render", j.rec.MaxTotal(trace.SpanRender))
+					s.met.phaseDone("composite", j.rec.MaxTotal(trace.SpanCompositing))
+					s.met.phaseDone("gather", j.rec.MaxTotal(trace.SpanGather))
+					s.lastTrace.Store(j.rec)
+				}
 				j.finish(reply{img: img})
 			}
 		}
@@ -393,6 +443,9 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 		admitted: now,
 		deadline: now.Add(deadline),
 		done:     make(chan reply, 1),
+	}
+	if !s.cfg.DisableTracing {
+		j.rec = trace.NewRecorder(s.cfg.P)
 	}
 
 	// The closed check and the enqueue are one critical section: Shutdown

@@ -1,0 +1,94 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sortlast/internal/server"
+	"sortlast/internal/trace"
+)
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, body
+}
+
+// TestTraceSidecar covers the serving-tier observability surface: the
+// /debug/trace/last endpoint 404s before any frame, serves
+// Perfetto-loadable JSON with one track per rank after one, the phase
+// histograms on /metrics count the frame, and the pprof index answers.
+func TestTraceSidecar(t *testing.T) {
+	srv, cl := startServer(t, server.Config{P: 4, HTTPAddr: "127.0.0.1:0"})
+	base := "http://" + srv.HTTPAddr().String()
+
+	if code, _ := httpGet(t, base+"/debug/trace/last"); code != http.StatusNotFound {
+		t.Fatalf("trace endpoint before any frame: status %d, want 404", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	req := server.Request{Dataset: "cube", Method: "bsbrc", Width: 64, Height: 64, RotY: 30}
+	if _, err := cl.Render(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := httpGet(t, base+"/debug/trace/last")
+	if code != http.StatusOK {
+		t.Fatalf("trace endpoint after a frame: status %d", code)
+	}
+	var f trace.File
+	if err := json.Unmarshal(body, &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	tids := map[int]bool{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" {
+			tids[ev.TID] = true
+		}
+	}
+	if len(tids) != 4 {
+		t.Errorf("trace has %d rank tracks, want 4", len(tids))
+	}
+
+	_, metrics := httpGet(t, base+"/metrics")
+	for _, phase := range []string{"render", "composite", "gather"} {
+		want := `renderd_phase_latency_seconds_count{phase="` + phase + `"} 1`
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if code, _ := httpGet(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index: status %d, want 200", code)
+	}
+}
+
+// TestTracingDisabled pins the opt-out: frames still serve, the trace
+// endpoint stays 404, and the phase histograms stay empty.
+func TestTracingDisabled(t *testing.T) {
+	srv, cl := startServer(t, server.Config{P: 2, HTTPAddr: "127.0.0.1:0", DisableTracing: true})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := cl.Render(ctx, server.Request{Dataset: "cube", Width: 32, Height: 32}); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.HTTPAddr().String()
+	if code, _ := httpGet(t, base+"/debug/trace/last"); code != http.StatusNotFound {
+		t.Errorf("trace endpoint with tracing disabled: status %d, want 404", code)
+	}
+	_, metrics := httpGet(t, base+"/metrics")
+	if !strings.Contains(string(metrics), `renderd_phase_latency_seconds_count{phase="render"} 0`) {
+		t.Error("phase histogram counted a frame with tracing disabled")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package trace
+
+// raceEnabled gates allocation assertions; see race.go.
+const raceEnabled = false

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Event is one Chrome trace-event object. The recorder emits complete
+// events (ph "X", microsecond ts/dur) plus metadata events (ph "M")
+// naming the process and one thread per rank, which is exactly the
+// subset ui.perfetto.dev needs to show one aligned track per rank.
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// File is the JSON-object form of the trace-event format.
+type File struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Events flattens the recorder into trace events, one tid per rank.
+func Events(rec *Recorder) []Event {
+	if rec == nil {
+		return nil
+	}
+	events := []Event{{
+		Name: "process_name", Ph: "M", PID: 0, TID: 0,
+		Args: map[string]any{"name": "sortlast"},
+	}}
+	for i, spans := range rec.Snapshot() {
+		events = append(events, Event{
+			Name: "thread_name", Ph: "M", PID: 0, TID: i,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", i)},
+		})
+		for _, s := range spans {
+			ev := Event{
+				Name: s.Name, Ph: "X",
+				TS:  float64(s.Start) / float64(time.Microsecond),
+				Dur: float64(s.Dur) / float64(time.Microsecond),
+				PID: 0, TID: i,
+			}
+			if s.Stage != "" {
+				ev.Args = map[string]any{"stage": s.Stage}
+			}
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+// WritePerfetto writes the recorder as Chrome/Perfetto trace-event
+// JSON. Open the file directly in ui.perfetto.dev or chrome://tracing.
+func WritePerfetto(w io.Writer, rec *Recorder) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(File{TraceEvents: Events(rec), DisplayTimeUnit: "ms"})
+}
+
+// ValidateNesting checks that one rank's spans form a proper tree:
+// any two spans either don't overlap or one contains the other.
+// Perfetto renders overlapping non-nested slices on one track as
+// garbage, so the instrumentation tests gate on this.
+func ValidateNesting(spans []Span) error {
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End() > sorted[j].End()
+	})
+	// Walk with an open-span stack: each span must either start after
+	// the innermost open span ends (sibling) or end within it (child).
+	var stack []Span
+	for _, s := range sorted {
+		for len(stack) > 0 && stack[len(stack)-1].End() <= s.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 && s.End() > stack[len(stack)-1].End() {
+			p := stack[len(stack)-1]
+			return fmt.Errorf("span %q [%v,%v] overlaps %q [%v,%v] without nesting",
+				s.Name, s.Start, s.End(), p.Name, p.Start, p.End())
+		}
+		stack = append(stack, s)
+	}
+	return nil
+}

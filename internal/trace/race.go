@@ -1,0 +1,9 @@
+//go:build race
+
+package trace
+
+// raceEnabled gates allocation assertions: the race detector
+// instruments memory operations and inflates allocation counts, so
+// alloc-exactness tests skip under -race (same guard as the repo's
+// compositing allocs benchmarks).
+const raceEnabled = true

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestDisabledRankIsNoop(t *testing.T) {
+	var r *Rank
+	m := r.Begin()
+	r.End(m, SpanEncode, "stage1")
+	if r.Enabled() {
+		t.Fatal("nil rank reports enabled")
+	}
+	if got := r.Spans(); got != nil {
+		t.Fatalf("nil rank recorded spans: %v", got)
+	}
+	if r.Total(SpanEncode) != 0 || r.ID() != -1 {
+		t.Fatal("nil rank accessors not zero-valued")
+	}
+	var rec *Recorder
+	if rec.Rank(0) != nil || rec.Size() != 0 || rec.Snapshot() != nil || rec.MaxTotal(SpanRender) != 0 {
+		t.Fatal("nil recorder accessors not zero-valued")
+	}
+	rec.Reset()
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts inflated under -race")
+	}
+	var r *Rank
+	allocs := testing.AllocsPerRun(1000, func() {
+		m := r.Begin()
+		r.End(m, SpanComposite, "stage1")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Begin/End allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestEnabledSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts inflated under -race")
+	}
+	rec := NewRecorder(1)
+	r := rec.Rank(0)
+	// Warm the buffer past the preallocated capacity once, then assert
+	// steady-state frames (Reset + re-record) never allocate.
+	for i := 0; i < 2*spansPerRankHint; i++ {
+		r.End(r.Begin(), SpanComposite, "stage1")
+	}
+	rec.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.Reset()
+		for i := 0; i < spansPerRankHint; i++ {
+			r.End(r.Begin(), SpanComposite, "stage1")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state recording allocates %v per frame, want 0", allocs)
+	}
+}
+
+func TestRecorderRecordsAlignedSpans(t *testing.T) {
+	rec := NewRecorder(2)
+	r0, r1 := rec.Rank(0), rec.Rank(1)
+	m := r0.Begin()
+	time.Sleep(time.Millisecond)
+	r0.End(m, SpanRender, "")
+	m = r1.Begin()
+	r1.End(m, SpanEncode, "stage1")
+
+	snap := rec.Snapshot()
+	if len(snap) != 2 || len(snap[0]) != 1 || len(snap[1]) != 1 {
+		t.Fatalf("snapshot shape = %v", snap)
+	}
+	if snap[0][0].Name != SpanRender || snap[0][0].Dur < time.Millisecond {
+		t.Fatalf("rank0 span = %+v", snap[0][0])
+	}
+	if snap[1][0].Stage != "stage1" {
+		t.Fatalf("rank1 span = %+v", snap[1][0])
+	}
+	if rec.MaxTotal(SpanRender) != r0.Total(SpanRender) {
+		t.Fatal("MaxTotal disagrees with the only rank rendering")
+	}
+	rec.Reset()
+	if got := rec.Snapshot(); len(got[0]) != 0 || len(got[1]) != 0 {
+		t.Fatalf("Reset left spans: %v", got)
+	}
+}
+
+func TestWritePerfettoSchema(t *testing.T) {
+	rec := NewRecorder(2)
+	for i := 0; i < 2; i++ {
+		r := rec.Rank(i)
+		m := r.Begin()
+		cm := r.Begin()
+		r.End(cm, SpanComposite, "stage1")
+		r.End(m, "stage1", "stage1")
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v", err)
+	}
+	tids := map[int]bool{}
+	var threads, complete int
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threads++
+			}
+		case "X":
+			complete++
+			tids[ev.TID] = true
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Fatalf("negative ts/dur: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if threads != 2 {
+		t.Fatalf("thread_name metadata events = %d, want 2", threads)
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	if len(tids) != 2 {
+		t.Fatalf("distinct rank tracks = %d, want 2", len(tids))
+	}
+}
+
+func TestValidateNesting(t *testing.T) {
+	ok := []Span{
+		{Name: "stage1", Start: 0, Dur: 100},
+		{Name: SpanEncode, Start: 10, Dur: 20},
+		{Name: SpanComposite, Start: 40, Dur: 60}, // child ending exactly with parent
+		{Name: "stage2", Start: 100, Dur: 50},     // sibling sharing a boundary
+	}
+	if err := ValidateNesting(ok); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	bad := []Span{
+		{Name: "stage1", Start: 0, Dur: 100},
+		{Name: SpanEncode, Start: 50, Dur: 100}, // straddles stage1's end
+	}
+	if err := ValidateNesting(bad); err == nil {
+		t.Fatal("overlapping non-nested spans accepted")
+	}
+	if err := ValidateNesting(nil); err != nil {
+		t.Fatalf("empty span list rejected: %v", err)
+	}
+}
