@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json
+.PHONY: check vet build test race bench bench-json bench-autotune
 
 # check is the pre-commit gate: static analysis, a full build, the full
 # test suite, and the race detector over the packages that run
@@ -32,3 +32,10 @@ bench:
 bench-json:
 	@$(GO) run ./cmd/servebench -out BENCH_serve.json || \
 		{ echo "bench-json: FAILED -- servebench could not start or drive renderd (see error above); BENCH_serve.json not updated" >&2; exit 1; }
+
+# bench-autotune compares Method auto against every fixed compositing
+# method over a mixed dense->sparse animation (quick-calibrating the
+# host first) and writes BENCH_autotune.json.
+bench-autotune:
+	@$(GO) run ./cmd/composebench -autobench -o BENCH_autotune.json || \
+		{ echo "bench-autotune: FAILED -- autobench did not complete (see error above); BENCH_autotune.json not updated" >&2; exit 1; }

@@ -1,0 +1,74 @@
+// Command calibrate measures the five cost-model constants of the
+// paper's Eq. 1-8 (T_s, T_c, T_o, T_encode, T_bound) on the machine it
+// runs on, for the in-process "mp" transport and the loopback-TCP
+// "mpnet" transport, and emits a versioned machine-profile JSON. The
+// autotune selector (Method "auto" in the harness, composebench and
+// renderd) predicts per-frame compositing cost from this profile
+// instead of the paper's 1999 SP2 preset.
+//
+//	calibrate -quick                       # coarse pass, prints to stdout
+//	calibrate -o profile.json              # full pass, written to a file
+//	renderd -profile profile.json ...      # serve with the calibrated model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sortlast/internal/autotune"
+)
+
+var (
+	quick = flag.Bool("quick", false,
+		"shorter measurement floors: seconds instead of tens of seconds, coarser constants")
+	out = flag.String("o", "", "write the profile JSON to this file (default: stdout)")
+	transports = flag.String("transports", "",
+		"comma-separated transports to calibrate: mp, mpnet (default: both)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	opts := autotune.CalibrateOptions{Quick: *quick}
+	if *transports != "" {
+		opts.Transports = strings.Split(*transports, ",")
+	}
+	fmt.Fprintf(os.Stderr, "calibrate: measuring compute constants and %v round trips (quick=%v)...\n",
+		transportList(opts), *quick)
+	prof, err := autotune.Calibrate(opts)
+	if err != nil {
+		return err
+	}
+	for _, tr := range transportList(opts) {
+		p, err := prof.Params(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr,
+			"calibrate: %-5s  Ts=%-10v Tc=%-8v To=%-8v Tencode=%-8v Tbound=%v\n",
+			tr, p.Ts, p.Tc, p.To, p.Tencode, p.Tbound)
+	}
+	if *out == "" {
+		return prof.Encode(os.Stdout)
+	}
+	if err := prof.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "calibrate: wrote %s\n", *out)
+	return nil
+}
+
+func transportList(opts autotune.CalibrateOptions) []string {
+	if len(opts.Transports) != 0 {
+		return opts.Transports
+	}
+	return []string{autotune.TransportMP, autotune.TransportMPNet}
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sortlast/internal/autotune"
+	"sortlast/internal/costmodel"
+	"sortlast/internal/harness"
+)
+
+// Autobench geometry: a short animation whose scene flips from dense
+// (cube fills the frame) to sparse (engine_low occupies a fraction of
+// it), so the right compositing method changes mid-sequence. Small
+// enough to run in CI, large enough that the methods separate.
+const (
+	abP      = 8
+	abSize   = 192
+	abFrames = 8
+	abTilt   = 20
+)
+
+// abFrameSpec is one frame of the mixed animation.
+type abFrameSpec struct {
+	Dataset string  `json:"dataset"`
+	RotY    float64 `json:"roty"`
+}
+
+func abSequence() []abFrameSpec {
+	seq := make([]abFrameSpec, abFrames)
+	for f := range seq {
+		d := "cube"
+		if f >= abFrames/2 {
+			d = "engine_low"
+		}
+		seq[f] = abFrameSpec{Dataset: d, RotY: 45 * float64(f)}
+	}
+	return seq
+}
+
+// abFrame is one measured frame of one method's run.
+type abFrame struct {
+	Dataset string  `json:"dataset"`
+	RotY    float64 `json:"roty"`
+	// Method is what actually composited the frame — for the auto run,
+	// the selector's per-frame resolution.
+	Method string `json:"method"`
+	// WallMS is the end-to-end harness wall time (render + composite +
+	// gather); rendering is identical across methods, so differences are
+	// compositing.
+	WallMS float64 `json:"wall_ms"`
+	// ModelMS is the cost model's compositing time for the frame.
+	ModelMS float64 `json:"model_ms"`
+}
+
+type abMethod struct {
+	TotalWallMS float64   `json:"total_wall_ms"`
+	Switches    int       `json:"switches,omitempty"`
+	Frames      []abFrame `json:"frames"`
+}
+
+type abReport struct {
+	CreatedAt string        `json:"created_at"`
+	P         int           `json:"p"`
+	Size      int           `json:"size"`
+	Transport string        `json:"transport"`
+	// Params are the cost-model constants the selector predicted with
+	// (calibrated on this host unless -profile overrode them).
+	Params   costmodel.Params `json:"params"`
+	Sequence []abFrameSpec    `json:"sequence"`
+	// Methods maps "auto" and each fixed candidate to its run.
+	Methods map[string]abMethod `json:"methods"`
+
+	BestFixed    string  `json:"best_fixed"`
+	WorstFixed   string  `json:"worst_fixed"`
+	AutoVsBest   float64 `json:"auto_vs_best_ratio"`
+	AutoVsWorst  float64 `json:"auto_vs_worst_ratio"`
+	AutoSwitches int     `json:"auto_switches"`
+}
+
+// runAutobench measures Method "auto" against every fixed candidate
+// over the mixed animation and writes the comparison JSON to -o.
+func runAutobench() error {
+	// The selector compares its predictions against measured wall times,
+	// so the model must be in this host's units, not the paper's SP2
+	// machine: with SP2 constants every measurement looks implausibly
+	// fast, the chosen method's correction factor collapses, and the
+	// selection freezes on whatever won the first frame. Calibrate
+	// when the caller didn't supply a profile.
+	var params costmodel.Params
+	if *profileFl != "" {
+		prof, err := autotune.LoadProfile(*profileFl)
+		if err != nil {
+			return err
+		}
+		if params, err = prof.Params(autotune.TransportMP); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "autobench: no -profile; running quick calibration")
+		prof, err := autotune.Calibrate(autotune.CalibrateOptions{
+			Quick: true, Transports: []string{autotune.TransportMP},
+		})
+		if err != nil {
+			return err
+		}
+		if params, err = prof.Params(autotune.TransportMP); err != nil {
+			return err
+		}
+	}
+	seq := abSequence()
+	// Warm the volume cache so the first timed frame doesn't pay the
+	// one-time synthesis cost.
+	for _, d := range []string{"cube", "engine_low"} {
+		if _, _, err := harness.Dataset(d); err != nil {
+			return err
+		}
+	}
+
+	rep := abReport{
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		P:         abP, Size: abSize,
+		Transport: autotune.TransportMP,
+		Params:    params,
+		Sequence:  seq,
+		Methods:   map[string]abMethod{},
+	}
+	methods := append([]string{autotune.MethodAuto}, autotune.Candidates()...)
+	for _, m := range methods {
+		var sel *autotune.Selector
+		if autotune.IsAuto(m) {
+			sel = autotune.NewSelector(params, autotune.TransportMP)
+		}
+		run := abMethod{}
+		prev := ""
+		for fi, spec := range seq {
+			cfg := harness.Config{
+				Dataset: spec.Dataset,
+				Width:   abSize, Height: abSize,
+				P: abP, Method: m,
+				RotX: abTilt, RotY: spec.RotY,
+				Params:   params,
+				Selector: sel,
+			}
+			start := time.Now()
+			row, err := harness.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("autobench %s frame %d: %w", m, fi, err)
+			}
+			wall := time.Since(start)
+			resolved := m
+			if row.Auto {
+				resolved = registryName(row.Method)
+				if prev != "" && resolved != prev {
+					run.Switches++
+				}
+				prev = resolved
+			}
+			run.Frames = append(run.Frames, abFrame{
+				Dataset: spec.Dataset, RotY: spec.RotY,
+				Method: resolved,
+				WallMS: float64(wall) / 1e6, ModelMS: row.TotalMS,
+			})
+			run.TotalWallMS += float64(wall) / 1e6
+			fmt.Fprintf(os.Stderr, ".")
+		}
+		rep.Methods[m] = run
+		fmt.Fprintf(os.Stderr, " %s %.1f ms\n", m, run.TotalWallMS)
+	}
+
+	rep.AutoSwitches = rep.Methods[autotune.MethodAuto].Switches
+	for _, m := range autotune.Candidates() {
+		t := rep.Methods[m].TotalWallMS
+		if rep.BestFixed == "" || t < rep.Methods[rep.BestFixed].TotalWallMS {
+			rep.BestFixed = m
+		}
+		if rep.WorstFixed == "" || t > rep.Methods[rep.WorstFixed].TotalWallMS {
+			rep.WorstFixed = m
+		}
+	}
+	autoT := rep.Methods[autotune.MethodAuto].TotalWallMS
+	rep.AutoVsBest = autoT / rep.Methods[rep.BestFixed].TotalWallMS
+	rep.AutoVsWorst = autoT / rep.Methods[rep.WorstFixed].TotalWallMS
+
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*outFile, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("autobench: auto %.1f ms over %d frames (switched %d times); best fixed %s %.1f ms (ratio %.2f), worst %s %.1f ms (ratio %.2f); wrote %s\n",
+		autoT, abFrames, rep.AutoSwitches,
+		rep.BestFixed, rep.Methods[rep.BestFixed].TotalWallMS, rep.AutoVsBest,
+		rep.WorstFixed, rep.Methods[rep.WorstFixed].TotalWallMS, rep.AutoVsWorst,
+		*outFile)
+	return nil
+}
+
+// registryName maps a compositor's display name (Row.Method) back to
+// its registry name, so the report speaks the names requests use.
+func registryName(display string) string {
+	for _, m := range autotune.Candidates() {
+		if strings.EqualFold(m, display) {
+			return m
+		}
+	}
+	return display
+}

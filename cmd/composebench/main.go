@@ -1,19 +1,24 @@
 // Command composebench regenerates the paper's evaluation (§4) from the
 // command line: Table 1 (384x384), Table 2 (768x768), Figures 8-11 (the
-// per-dataset compositing-time series), and the Eq. 9 M_max comparison.
+// per-dataset compositing-time series), the Eq. 9 M_max comparison, and
+// the autotune benchmark (auto vs every fixed method over a mixed
+// sparse/dense animation).
 //
 // Examples:
 //
 //	composebench -table 1
+//	composebench -table 1 -method auto,bsbrc
 //	composebench -figure 11 -maxp 32
 //	composebench -mmax -dataset cube
 //	composebench -all -csv
+//	composebench -autobench -o BENCH_autotune.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sortlast/internal/harness"
 	"sortlast/internal/report"
@@ -21,16 +26,20 @@ import (
 )
 
 var (
-	table    = flag.Int("table", 0, "regenerate Table 1 or 2")
-	figure   = flag.Int("figure", 0, "regenerate Figure 8, 9, 10 or 11")
-	mmax     = flag.Bool("mmax", false, "regenerate the Eq. 9 M_max comparison")
-	all      = flag.Bool("all", false, "regenerate every table and figure")
-	dataset  = flag.String("dataset", "", "restrict to one dataset (engine_low, engine_high, head, cube)")
-	maxP     = flag.Int("maxp", 64, "largest processor count in the sweep")
-	rotX     = flag.Float64("rotx", 20, "viewpoint rotation about x (degrees)")
-	rotY     = flag.Float64("roty", 30, "viewpoint rotation about y (degrees)")
-	csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables")
-	traceOut = flag.String("trace", "", "write a Chrome/Perfetto span trace of the last sweep cell to this JSON file")
+	table     = flag.Int("table", 0, "regenerate Table 1 or 2")
+	figure    = flag.Int("figure", 0, "regenerate Figure 8, 9, 10 or 11")
+	mmax      = flag.Bool("mmax", false, "regenerate the Eq. 9 M_max comparison")
+	all       = flag.Bool("all", false, "regenerate every table and figure")
+	autobench = flag.Bool("autobench", false, "compare Method auto against each fixed method over a mixed sparse/dense animation; writes JSON to -o")
+	dataset   = flag.String("dataset", "", "restrict to one dataset (engine_low, engine_high, head, cube)")
+	methodsFl = flag.String("method", "", "comma-separated methods overriding each sweep's method set (core methods or auto)")
+	maxP      = flag.Int("maxp", 64, "largest processor count in the sweep")
+	rotX      = flag.Float64("rotx", 20, "viewpoint rotation about x (degrees)")
+	rotY      = flag.Float64("roty", 30, "viewpoint rotation about y (degrees)")
+	csv       = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	profileFl = flag.String("profile", "", "machine profile JSON from cmd/calibrate driving auto selection (default: the paper's SP2 preset)")
+	outFile   = flag.String("o", "BENCH_autotune.json", "output path of the -autobench report")
+	traceOut  = flag.String("trace", "", "write a Chrome/Perfetto span trace of the last sweep cell to this JSON file")
 )
 
 // lastTrace is the recorder of the most recently completed sweep cell,
@@ -77,6 +86,11 @@ func sweep(size int, methods []string, ds []string) ([]harness.Row, error) {
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s/P%d: %w", d, m, p, err)
 				}
+				if row.Auto {
+					// Fold every auto cell into one table column regardless
+					// of which concrete method the selector resolved to.
+					row.Method = "AUTO"
+				}
 				rows = append(rows, *row)
 				fmt.Fprintf(os.Stderr, ".")
 			}
@@ -96,18 +110,30 @@ func emit(rows []harness.Row, format func() string) {
 
 func run() error {
 	did := false
-	methodNames := map[string]string{"bs": "BS", "bsbr": "BSBR", "bslc": "BSLC", "bsbrc": "BSBRC"}
 	display := func(ms []string) []string {
 		out := make([]string, len(ms))
 		for i, m := range ms {
-			out[i] = methodNames[m]
+			out[i] = strings.ToUpper(m)
 		}
 		return out
 	}
+	// -method overrides the method set a table or figure sweeps.
+	pick := func(def []string) []string {
+		if *methodsFl == "" {
+			return def
+		}
+		return strings.Split(*methodsFl, ",")
+	}
 
+	if *autobench {
+		did = true
+		if err := runAutobench(); err != nil {
+			return err
+		}
+	}
 	if *all || *table == 1 {
 		did = true
-		methods := []string{"bs", "bsbr", "bslc", "bsbrc"}
+		methods := pick([]string{"bs", "bsbr", "bslc", "bsbrc"})
 		rows, err := sweep(384, methods, datasets())
 		if err != nil {
 			return err
@@ -119,7 +145,7 @@ func run() error {
 	}
 	if *all || *table == 2 {
 		did = true
-		methods := []string{"bsbr", "bslc", "bsbrc"}
+		methods := pick([]string{"bsbr", "bslc", "bsbrc"})
 		rows, err := sweep(768, methods, datasets())
 		if err != nil {
 			return err
@@ -141,7 +167,7 @@ func run() error {
 			return fmt.Errorf("unknown figure %d (want 8-11)", f)
 		}
 		did = true
-		methods := []string{"bsbr", "bslc", "bsbrc"}
+		methods := pick([]string{"bsbr", "bslc", "bsbrc"})
 		rows, err := sweep(384, methods, []string{ds})
 		if err != nil {
 			return err
@@ -153,7 +179,7 @@ func run() error {
 	}
 	if *all || *mmax {
 		did = true
-		methods := []string{"bs", "bsbr", "bslc", "bsbrc"}
+		methods := pick([]string{"bs", "bsbr", "bslc", "bsbrc"})
 		for _, ds := range datasets() {
 			rows, err := sweep(384, methods, []string{ds})
 			if err != nil {
@@ -167,7 +193,7 @@ func run() error {
 	}
 	if !did {
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -table, -figure, -mmax or -all")
+		return fmt.Errorf("nothing to do: pass -table, -figure, -mmax, -autobench or -all")
 	}
 	if *traceOut != "" {
 		if lastTrace == nil {

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"sortlast/internal/autotune"
 	"sortlast/internal/server"
 )
 
@@ -39,6 +40,7 @@ var (
 	inflight    = flag.Int("inflight", 2, "max frames pipelined through the render/composite stages")
 	deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	workers     = flag.Int("workers", 0, "ray-casting workers per rank (0: GOMAXPROCS)")
+	profilePath = flag.String("profile", "", "machine profile JSON from cmd/calibrate, driving Method \"auto\" selection (default: the paper's SP2 preset)")
 	drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 )
 
@@ -63,6 +65,13 @@ func run() error {
 	if set["http"] && !set["metrics-addr"] {
 		sidecar = *httpAddr
 	}
+	var prof *autotune.Profile
+	if *profilePath != "" {
+		var err error
+		if prof, err = autotune.LoadProfile(*profilePath); err != nil {
+			return err
+		}
+	}
 	srv, err := server.Start(server.Config{
 		Addr:            *listen,
 		HTTPAddr:        sidecar,
@@ -73,6 +82,7 @@ func run() error {
 		MaxInFlight:     *inflight,
 		DefaultDeadline: *deadline,
 		Workers:         *workers,
+		Profile:         prof,
 		DisableTracing:  *noTrace,
 	})
 	if err != nil {
@@ -81,7 +91,7 @@ func run() error {
 	fmt.Printf("renderd: serving frames on %s (world=%s, P=%d, queue=%d, inflight=%d)\n",
 		srv.Addr(), *world, *p, *queue, *inflight)
 	if a := srv.HTTPAddr(); a != nil {
-		fmt.Printf("renderd: /healthz, /metrics, /debug/pprof/ and /debug/trace/last on http://%s\n", a)
+		fmt.Printf("renderd: /healthz, /metrics, /debug/pprof/, /debug/trace/last and /debug/autotune on http://%s\n", a)
 	}
 
 	sig := make(chan os.Signal, 1)

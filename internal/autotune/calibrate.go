@@ -1,0 +1,337 @@
+package autotune
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sortlast/internal/costmodel"
+	"sortlast/internal/frame"
+	"sortlast/internal/mp"
+	"sortlast/internal/mpnet"
+	"sortlast/internal/rle"
+)
+
+// CalibrateOptions configure a calibration run.
+type CalibrateOptions struct {
+	// Quick shortens every microbenchmark (~10× fewer repetitions):
+	// noisier constants, but finishes in well under a second — what CI
+	// runs to keep the calibration path from rotting.
+	Quick bool
+	// Transports to calibrate; default both mp and mpnet.
+	Transports []string
+}
+
+func (o CalibrateOptions) transports() []string {
+	if len(o.Transports) == 0 {
+		return []string{TransportMP, TransportMPNet}
+	}
+	return o.Transports
+}
+
+// repetition budgets: a measurement loop runs until its floor duration
+// elapses, so constants come from wall time over exact work counts
+// rather than a fixed iteration guess.
+func (o CalibrateOptions) computeFloor() time.Duration {
+	if o.Quick {
+		return 5 * time.Millisecond
+	}
+	return 60 * time.Millisecond
+}
+
+func (o CalibrateOptions) pingpongReps(quickReps, fullReps int) int {
+	if o.Quick {
+		return quickReps
+	}
+	return fullReps
+}
+
+// Calibrate measures the five cost-model constants on this host and
+// returns a versioned machine profile. The compute constants (T_o,
+// T_encode, T_bound) are transport-independent and measured once; T_s
+// and T_c are measured per transport by a two-point ping-pong fit.
+func Calibrate(opts CalibrateOptions) (*Profile, error) {
+	to := measureTo(opts)
+	tenc := measureTencode(opts)
+	tbound := measureTbound(opts)
+
+	prof := &Profile{
+		Version:    ProfileVersion,
+		CreatedAt:  time.Now().UTC(),
+		Host:       CurrentHost(),
+		Quick:      opts.Quick,
+		Transports: make(map[string]costmodel.Params, 2),
+	}
+	for _, tr := range opts.transports() {
+		ts, tc, err := measureTransport(tr, opts)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: calibrating %s: %w", tr, err)
+		}
+		prof.Transports[tr] = costmodel.Params{
+			Ts: ts, Tc: tc, To: to, Tencode: tenc, Tbound: tbound,
+		}
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// atLeast1ns keeps a constant positive: on a fast host a per-byte or
+// per-pixel time can round below the nanosecond resolution of
+// time.Duration, and a zero constant fails profile validation.
+func atLeast1ns(d time.Duration) time.Duration {
+	if d < time.Nanosecond {
+		return time.Nanosecond
+	}
+	return d
+}
+
+// perUnit converts a measured wall time over n units into a per-unit
+// duration, rounding half-up so sub-nanosecond costs stay positive.
+func perUnit(total time.Duration, n int) time.Duration {
+	if n <= 0 {
+		return time.Nanosecond
+	}
+	return atLeast1ns(time.Duration((float64(total) + float64(n)/2) / float64(n)))
+}
+
+// calSize is the square benchmark region: large enough to defeat cache
+// residency games, small enough to iterate quickly.
+const calSize = 256
+
+// measureTo times the over operator per delivered pixel: dense source
+// pixels composited into an image region, the exact loop BS runs per
+// stage (frame.CompositeRegion).
+func measureTo(opts CalibrateOptions) time.Duration {
+	region := frame.Rect{X0: 0, Y0: 0, X1: calSize, Y1: calSize}
+	img := frame.NewImageBounds(calSize, calSize, region)
+	src := make([]frame.Pixel, region.Area())
+	for i := range src {
+		src[i] = frame.Pixel{I: 0.25, A: 0.5}
+	}
+	floor := opts.computeFloor()
+	pixels := 0
+	start := time.Now()
+	for time.Since(start) < floor {
+		img.CompositeRegion(region, src, true)
+		pixels += region.Area()
+	}
+	return perUnit(time.Since(start), pixels)
+}
+
+// measureTencode times the run-length encoder per scanned pixel over a
+// representative half-sparse region (alternating runs of blank and
+// non-blank), the per-stage scan BSLC/BSBRC pay.
+func measureTencode(opts CalibrateOptions) time.Duration {
+	region := frame.Rect{X0: 0, Y0: 0, X1: calSize, Y1: calSize}
+	img := frame.NewImageBounds(calSize, calSize, region)
+	for y := 0; y < calSize; y++ {
+		for x := 0; x < calSize; x++ {
+			if (x/17+y/11)%2 == 0 {
+				img.Set(x, y, frame.Pixel{I: 0.25, A: 0.5})
+			}
+		}
+	}
+	var enc rle.Encoding
+	floor := opts.computeFloor()
+	pixels := 0
+	start := time.Now()
+	for time.Since(start) < floor {
+		rle.EncodeRect(img, region, &enc)
+		pixels += region.Area()
+	}
+	return perUnit(time.Since(start), pixels)
+}
+
+// measureTbound times the bounding-rectangle scan per examined pixel
+// (frame.Image.BoundingRect), the O(A) first-stage scan of BSBR/BSBRC.
+func measureTbound(opts CalibrateOptions) time.Duration {
+	region := frame.Rect{X0: 0, Y0: 0, X1: calSize, Y1: calSize}
+	img := frame.NewImageBounds(calSize, calSize, region)
+	// A sparse diagonal band: the scan still touches every pixel, but
+	// the blank fast path dominates the way it does on real frames.
+	for i := 0; i < calSize; i++ {
+		img.Set(i, i, frame.Pixel{I: 0.25, A: 0.5})
+	}
+	floor := opts.computeFloor()
+	pixels := 0
+	start := time.Now()
+	for time.Since(start) < floor {
+		_, scanned := img.BoundingRect(region)
+		pixels += scanned
+	}
+	return perUnit(time.Since(start), pixels)
+}
+
+// Ping-pong message sizes for the two-point linear fit
+// t(n) = Ts + Tc·n. The small size isolates start-up latency; the
+// large size amortizes it away so the slope is the per-byte cost.
+const (
+	pingSmall = 64
+	pingLarge = 1 << 20
+)
+
+// measureTransport measures T_s and T_c for one transport by timing
+// round trips at two message sizes between two ranks and solving the
+// linear model. The half-round-trip at each size gives
+// t(n) = Ts + Tc·n; two sizes give the slope and intercept.
+func measureTransport(transport string, opts CalibrateOptions) (ts, tc time.Duration, err error) {
+	var comms []mp.Comm
+	var shutdown func()
+	switch transport {
+	case TransportMP:
+		w, err := mp.NewWorld(2, mp.Options{})
+		if err != nil {
+			return 0, 0, err
+		}
+		c0, err := w.Comm(0)
+		if err != nil {
+			w.Shutdown()
+			return 0, 0, err
+		}
+		c1, err := w.Comm(1)
+		if err != nil {
+			w.Shutdown()
+			return 0, 0, err
+		}
+		comms = []mp.Comm{c0, c1}
+		shutdown = w.Shutdown
+	case TransportMPNet:
+		nodes, err := loopbackPair()
+		if err != nil {
+			return 0, 0, err
+		}
+		comms = []mp.Comm{nodes[0].Comm(), nodes[1].Comm()}
+		shutdown = func() {
+			for _, n := range nodes {
+				n.Close()
+			}
+		}
+	default:
+		return 0, 0, fmt.Errorf("unknown transport %q (want %s or %s)",
+			transport, TransportMP, TransportMPNet)
+	}
+	defer shutdown()
+
+	smallReps := opts.pingpongReps(50, 2000)
+	largeReps := opts.pingpongReps(8, 100)
+	tSmall, err := pingpong(comms, pingSmall, smallReps)
+	if err != nil {
+		return 0, 0, err
+	}
+	tLarge, err := pingpong(comms, pingLarge, largeReps)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Two-point fit. The slope can only be non-positive if noise swamped
+	// the large transfer, in which case the floor of 1ns stands in.
+	slope := float64(tLarge-tSmall) / float64(pingLarge-pingSmall)
+	tc = atLeast1ns(time.Duration(slope))
+	ts = atLeast1ns(tSmall - time.Duration(slope*pingSmall))
+	return ts, tc, nil
+}
+
+// pingpong measures the average half-round-trip for one payload size:
+// rank 0 sends and awaits the echo, rank 1 echoes. A
+// warm-up round trip runs first so connection and buffer setup is paid
+// outside the measurement.
+func pingpong(comms []mp.Comm, size, reps int) (time.Duration, error) {
+	const tag = 7
+	payload := make([]byte, size)
+	errs := make([]error, 2)
+	var elapsed time.Duration
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // rank 0: driver
+		defer wg.Done()
+		c := comms[0]
+		if err := echoOnce(c, 1, tag, payload); err != nil {
+			errs[0] = err
+			return
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := echoOnce(c, 1, tag, payload); err != nil {
+				errs[0] = err
+				return
+			}
+		}
+		elapsed = time.Since(start)
+	}()
+	go func() { // rank 1: reflector
+		defer wg.Done()
+		c := comms[1]
+		for i := 0; i < reps+1; i++ {
+			msg, err := c.Recv(0, tag)
+			if err != nil {
+				errs[1] = err
+				return
+			}
+			if err := c.Send(0, tag, msg); err != nil {
+				errs[1] = err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	// One rep is a full round trip: two messages of the same size.
+	return elapsed / time.Duration(2*reps), nil
+}
+
+func echoOnce(c mp.Comm, peer, tag int, payload []byte) error {
+	if err := c.Send(peer, tag, payload); err != nil {
+		return err
+	}
+	_, err := c.Recv(peer, tag)
+	return err
+}
+
+// loopbackPair builds a two-rank mpnet world over loopback ephemeral
+// ports, the same way the serving tier's netResident does.
+func loopbackPair() ([2]*mpnet.Node, error) {
+	var nodes [2]*mpnet.Node
+	listeners := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nodes, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			nodes[r], errs[r] = mpnet.Connect(mpnet.Config{
+				Rank: r, Addrs: addrs, Listener: listeners[r],
+				DialTimeout: 10 * time.Second,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			for _, n := range nodes {
+				if n != nil {
+					n.Close()
+				}
+			}
+			return nodes, fmt.Errorf("mpnet rank %d: %w", r, err)
+		}
+	}
+	return nodes, nil
+}

@@ -1,0 +1,64 @@
+package autotune
+
+import (
+	"testing"
+	"time"
+)
+
+// A quick calibration must produce a valid profile for both transports
+// with every constant positive. That mpnet's T_s/T_c exceed mp's is not
+// asserted (loopback TCP on a fast host can be close to in-process),
+// but the compute constants must be shared, since they are measured
+// once.
+func TestCalibrateQuick(t *testing.T) {
+	prof, err := Calibrate(CalibrateOptions{Quick: true})
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	if err := prof.Validate(); err != nil {
+		t.Fatalf("profile invalid: %v", err)
+	}
+	if !prof.Quick {
+		t.Error("profile must record it came from a quick calibration")
+	}
+	mp, err := prof.Params(TransportMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := prof.Params(TransportMPNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.To != net.To || mp.Tencode != net.Tencode || mp.Tbound != net.Tbound {
+		t.Errorf("compute constants must be shared across transports: mp=%+v net=%+v", mp, net)
+	}
+	// Sanity bounds: per-pixel compute on any modern host lands between
+	// sub-nanosecond (clamped to 1ns) and tens of microseconds.
+	for name, d := range map[string]time.Duration{
+		"To": mp.To, "Tencode": mp.Tencode, "Tbound": mp.Tbound,
+		"Ts(mp)": mp.Ts, "Tc(mp)": mp.Tc, "Ts(mpnet)": net.Ts, "Tc(mpnet)": net.Tc,
+	} {
+		if d <= 0 {
+			t.Errorf("%s = %v, want positive", name, d)
+		}
+		if d > time.Second {
+			t.Errorf("%s = %v, implausibly large", name, d)
+		}
+	}
+}
+
+func TestCalibrateSingleTransport(t *testing.T) {
+	prof, err := Calibrate(CalibrateOptions{Quick: true, Transports: []string{TransportMP}})
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	if _, err := prof.Params(TransportMPNet); err == nil {
+		t.Fatal("uncalibrated transport must be absent")
+	}
+}
+
+func TestCalibrateUnknownTransport(t *testing.T) {
+	if _, err := Calibrate(CalibrateOptions{Quick: true, Transports: []string{"carrier-pigeon"}}); err == nil {
+		t.Fatal("unknown transport must error")
+	}
+}

@@ -1,0 +1,177 @@
+// Package autotune closes the paper's loop between model and machine:
+// it measures the five cost-model constants (T_s, T_c, T_o, T_encode,
+// T_bound; the inputs of Eq. 1–8) on the actual host, stores them in a
+// versioned machine profile, and uses the calibrated model to pick the
+// cheapest compositing method per frame from cheap sparsity features —
+// with a per-method EWMA correction, fed by measured wall time, that
+// absorbs whatever the closed-form model gets wrong about the host.
+//
+// The package has three layers:
+//
+//   - Calibration (Calibrate): microbenchmarks for the compute constants
+//     plus a ping-pong latency/bandwidth fit per transport ("mp"
+//     in-process, "mpnet" loopback TCP — T_s and T_c differ by orders of
+//     magnitude between them), producing a Profile.
+//   - Selection (Selector): evaluates the Eq. 1–8 closed forms for every
+//     binary-swap method over a Features vector (image area, non-blank
+//     fraction, bounding-rectangle fraction, runs per scanline) and
+//     returns the argmin, scaled by the method's EWMA correction factor.
+//   - Feedback (Observe/UpdateFromStats): after a frame runs, the
+//     measured compositing wall time corrects the chosen method's
+//     factor, and the frame's exact stats counters become the feature
+//     vector for the next frame — calibrate once, predict per input,
+//     correct from measurement.
+package autotune
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"sortlast/internal/costmodel"
+)
+
+// ProfileVersion is the current machine-profile schema version.
+const ProfileVersion = 1
+
+// Transport names a profile's parameter set: the in-process goroutine
+// world or the loopback TCP world.
+const (
+	TransportMP    = "mp"
+	TransportMPNet = "mpnet"
+)
+
+// HostInfo identifies the machine a profile was calibrated on, so a
+// profile loaded on different hardware is at least visibly foreign.
+type HostInfo struct {
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// CurrentHost describes the running machine.
+func CurrentHost() HostInfo {
+	return HostInfo{
+		OS: runtime.GOOS, Arch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), GoVersion: runtime.Version(),
+	}
+}
+
+// Profile is a versioned machine profile: one full costmodel.Params per
+// transport. The compute constants (T_o, T_encode, T_bound) are shared
+// across transports — calibration measures them once and copies them —
+// but each entry is self-contained so a transport's parameters load
+// straight into costmodel.Params with no assembly step.
+type Profile struct {
+	Version   int       `json:"version"`
+	CreatedAt time.Time `json:"created_at"`
+	Host      HostInfo  `json:"host"`
+
+	// Quick records that the profile came from a shortened calibration
+	// (cmd/calibrate -quick): usable, but noisier than a full run.
+	Quick bool `json:"quick,omitempty"`
+
+	Transports map[string]costmodel.Params `json:"transports"`
+}
+
+// Validate checks the schema version and that every transport's
+// parameters pass costmodel validation (all constants positive).
+func (p *Profile) Validate() error {
+	if p.Version != ProfileVersion {
+		return fmt.Errorf("autotune: profile version %d, want %d", p.Version, ProfileVersion)
+	}
+	if len(p.Transports) == 0 {
+		return fmt.Errorf("autotune: profile has no transports")
+	}
+	for name, params := range p.Transports {
+		if err := params.Validate(); err != nil {
+			return fmt.Errorf("autotune: transport %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Params returns the parameter set calibrated for transport. An absent
+// transport is an explicit error — callers must never silently model
+// TCP traffic with in-process constants or vice versa.
+func (p *Profile) Params(transport string) (costmodel.Params, error) {
+	params, ok := p.Transports[transport]
+	if !ok {
+		return costmodel.Params{}, fmt.Errorf("autotune: profile has no transport %q (have %v)",
+			transport, p.transportNames())
+	}
+	return params, nil
+}
+
+func (p *Profile) transportNames() []string {
+	names := make([]string, 0, len(p.Transports))
+	for name := range p.Transports {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Encode writes the profile as indented JSON.
+func (p *Profile) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteFile writes the profile to path as indented JSON.
+func (p *Profile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := p.Encode(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// DecodeProfile reads and validates a profile from r.
+func DecodeProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("autotune: decoding profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadProfile reads and validates a profile from a JSON file.
+func LoadProfile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := DecodeProfile(f)
+	if err != nil {
+		return nil, fmt.Errorf("autotune: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// DefaultProfile returns a profile carrying the paper's SP2 preset for
+// every transport — the fallback when no calibration has run. The
+// relative ordering of methods under SP2 parameters is the paper's; the
+// selector's EWMA correction then adapts the scale to the host.
+func DefaultProfile() *Profile {
+	return &Profile{
+		Version: ProfileVersion,
+		Host:    CurrentHost(),
+		Transports: map[string]costmodel.Params{
+			TransportMP:    costmodel.SP2(),
+			TransportMPNet: costmodel.SP2(),
+		},
+	}
+}

@@ -1,0 +1,61 @@
+package autotune
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sortlast/internal/costmodel"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	prof := DefaultProfile()
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := prof.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Version != ProfileVersion {
+		t.Fatalf("version %d, want %d", got.Version, ProfileVersion)
+	}
+	for _, tr := range []string{TransportMP, TransportMPNet} {
+		p, err := got.Params(tr)
+		if err != nil {
+			t.Fatalf("params %s: %v", tr, err)
+		}
+		if p != costmodel.SP2() {
+			t.Fatalf("%s params %+v, want SP2", tr, p)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	prof := DefaultProfile()
+	prof.Version = 99
+	if err := prof.Validate(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version must fail: %v", err)
+	}
+	prof = DefaultProfile()
+	prof.Transports = nil
+	if err := prof.Validate(); err == nil {
+		t.Fatal("empty transports must fail")
+	}
+	prof = DefaultProfile()
+	bad := costmodel.SP2()
+	bad.Tc = 0
+	prof.Transports[TransportMP] = bad
+	if err := prof.Validate(); err == nil {
+		t.Fatal("non-positive constant must fail")
+	}
+}
+
+func TestProfileMissingTransport(t *testing.T) {
+	prof := DefaultProfile()
+	delete(prof.Transports, TransportMPNet)
+	if _, err := prof.Params(TransportMPNet); err == nil {
+		t.Fatal("missing transport must error, not fall back")
+	}
+}

@@ -128,6 +128,14 @@ func New(name string) (Compositor, error) {
 	}
 }
 
+// Known reports whether name is a registered compositor, so admission
+// layers can validate a method name without constructing the compositor
+// or parsing New's error.
+func Known(name string) bool {
+	_, err := New(name)
+	return err == nil
+}
+
 // Names lists the compositors in the order the paper discusses them:
 // the four evaluated methods, the related-work baselines, then the
 // related-work encodings as binary-swap variants (§2/§3.3 ablations).

@@ -1,0 +1,93 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// paramsJSON is the wire form of Params: human-readable duration strings
+// ("60µs", "25ns"), one field per machine constant of the paper's model.
+// Numbers are also accepted on decode and read as nanoseconds, so
+// profiles may be written by tools that only know integers.
+type paramsJSON struct {
+	Ts      jsonDuration `json:"ts"`
+	Tc      jsonDuration `json:"tc"`
+	To      jsonDuration `json:"to"`
+	Tencode jsonDuration `json:"tencode"`
+	Tbound  jsonDuration `json:"tbound"`
+}
+
+type jsonDuration time.Duration
+
+func (d jsonDuration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *jsonDuration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("costmodel: bad duration %q: %w", s, err)
+		}
+		*d = jsonDuration(v)
+		return nil
+	}
+	var ns float64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("costmodel: duration must be a string or nanoseconds: %s", b)
+	}
+	*d = jsonDuration(time.Duration(ns))
+	return nil
+}
+
+// Validate checks that every machine constant is positive. A zero or
+// negative constant makes the cost equations meaningless (the model
+// would predict free or negative work), so loaders reject it up front.
+func (p Params) Validate() error {
+	check := func(name string, v time.Duration) error {
+		if v <= 0 {
+			return fmt.Errorf("costmodel: %s = %v must be positive", name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"Ts", p.Ts}, {"Tc", p.Tc}, {"To", p.To},
+		{"Tencode", p.Tencode}, {"Tbound", p.Tbound},
+	} {
+		if err := check(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler, emitting duration strings.
+func (p Params) MarshalJSON() ([]byte, error) {
+	return json.Marshal(paramsJSON{
+		Ts: jsonDuration(p.Ts), Tc: jsonDuration(p.Tc), To: jsonDuration(p.To),
+		Tencode: jsonDuration(p.Tencode), Tbound: jsonDuration(p.Tbound),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded parameters are
+// validated: every constant must be present and positive.
+func (p *Params) UnmarshalJSON(b []byte) error {
+	var pj paramsJSON
+	if err := json.Unmarshal(b, &pj); err != nil {
+		return err
+	}
+	dec := Params{
+		Ts: time.Duration(pj.Ts), Tc: time.Duration(pj.Tc), To: time.Duration(pj.To),
+		Tencode: time.Duration(pj.Tencode), Tbound: time.Duration(pj.Tbound),
+	}
+	if err := dec.Validate(); err != nil {
+		return err
+	}
+	*p = dec
+	return nil
+}

@@ -1,0 +1,63 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParamsJSONRoundTrip(t *testing.T) {
+	in := SP2()
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Params
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	// The wire form is human-readable duration strings.
+	if !strings.Contains(string(b), `"ts":"60µs"`) {
+		t.Errorf("marshal = %s, want duration strings", b)
+	}
+}
+
+func TestParamsJSONNumericNanoseconds(t *testing.T) {
+	var p Params
+	src := `{"ts":60000,"tc":25,"to":4000,"tencode":500,"tbound":150}`
+	if err := json.Unmarshal([]byte(src), &p); err != nil {
+		t.Fatalf("unmarshal numeric: %v", err)
+	}
+	if p.Ts != 60*time.Microsecond || p.Tc != 25*time.Nanosecond {
+		t.Fatalf("numeric decode: got %+v", p)
+	}
+}
+
+func TestParamsJSONRejectsNonPositive(t *testing.T) {
+	cases := []string{
+		`{"ts":"0s","tc":"25ns","to":"4µs","tencode":"500ns","tbound":"150ns"}`,
+		`{"ts":"60µs","tc":"-1ns","to":"4µs","tencode":"500ns","tbound":"150ns"}`,
+		`{"ts":"60µs","tc":"25ns","to":"4µs","tencode":"500ns"}`, // missing Tbound
+	}
+	for _, src := range cases {
+		var p Params
+		if err := json.Unmarshal([]byte(src), &p); err == nil {
+			t.Errorf("unmarshal %s: want validation error, got %+v", src, p)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := SP2().Validate(); err != nil {
+		t.Fatalf("SP2 must validate: %v", err)
+	}
+	bad := SP2()
+	bad.To = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero To must fail validation")
+	}
+}

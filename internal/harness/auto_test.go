@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"sortlast/internal/autotune"
+	"sortlast/internal/costmodel"
+)
+
+// Method "auto" must be a pure routing decision: the frame it produces
+// is byte-identical to running the selected method as a fixed config.
+func TestAutoByteIdenticalToSelectedMethod(t *testing.T) {
+	base := Config{
+		Dataset: "engine_low",
+		Width:   128, Height: 128,
+		P: 4, RotX: 20, RotY: 30,
+	}
+
+	auto := base
+	auto.Method = "auto"
+	autoRow, autoImg, err := RunWithImage(auto)
+	if err != nil {
+		t.Fatalf("auto run: %v", err)
+	}
+	if !autoRow.Auto {
+		t.Fatal("row must record the method was auto-selected")
+	}
+
+	// The row reports the compositor's display name; resolve back to the
+	// registry name to re-run it as a fixed method.
+	var fixedName string
+	for _, m := range autotune.Candidates() {
+		fixed := base
+		fixed.Method = m
+		plan, err := NewPlan(fixed)
+		if err != nil {
+			t.Fatalf("plan %s: %v", m, err)
+		}
+		if plan.Comp.Name() == autoRow.Method {
+			fixedName = m
+			break
+		}
+	}
+	if fixedName == "" {
+		t.Fatalf("auto selected %q, which is not a candidate method", autoRow.Method)
+	}
+
+	fixed := base
+	fixed.Method = fixedName
+	fixedRow, fixedImg, err := RunWithImage(fixed)
+	if err != nil {
+		t.Fatalf("fixed run %s: %v", fixedName, err)
+	}
+	if fixedRow.Auto {
+		t.Fatal("fixed-method row must not be marked auto")
+	}
+	if !bytes.Equal(autoImg.AppendGray(nil), fixedImg.AppendGray(nil)) {
+		t.Fatalf("auto (via %s) and fixed %s frames differ", autoRow.Method, fixedName)
+	}
+	if d := autoImg.MaxAbsDiff(fixedImg, autoImg.Full()); d != 0 {
+		t.Fatalf("auto and fixed pixels differ by %g", d)
+	}
+}
+
+// A shared selector must carry state across frames: the first auto
+// frame seeds features by pre-scan, later frames reuse stats-derived
+// features and keep producing valid selections.
+func TestAutoSharedSelectorAcrossFrames(t *testing.T) {
+	sel := autotune.NewSelector(costmodel.SP2(), autotune.TransportMP)
+	cfg := Config{
+		Dataset: "engine_low",
+		Width:   96, Height: 96,
+		P: 4, Method: "auto",
+		Selector: sel,
+	}
+	if _, ok := sel.Features(); ok {
+		t.Fatal("selector must start with no features")
+	}
+	for f := 0; f < 3; f++ {
+		cfg.RotY = float64(40 * f)
+		row, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if !row.Auto {
+			t.Fatalf("frame %d: not auto-selected", f)
+		}
+	}
+	if _, ok := sel.Features(); !ok {
+		t.Fatal("selector must hold stats-derived features after frames ran")
+	}
+	snap := sel.Snapshot()
+	if snap.Observed < 3 {
+		t.Fatalf("selector observed %d frames, want >= 3", snap.Observed)
+	}
+	total := 0
+	for _, n := range snap.Selected {
+		total += n
+	}
+	if total < 3 {
+		t.Fatalf("selection counts %v, want >= 3 total", snap.Selected)
+	}
+}
+
+// Auto must work through the non-power-of-two fold and validate against
+// the sequential reference.
+func TestAutoNonPowerOfTwoValidates(t *testing.T) {
+	row, err := Run(Config{
+		Dataset: "engine_low",
+		Width:   96, Height: 96,
+		P: 3, Method: "auto",
+		Validate: true,
+	})
+	if err != nil {
+		t.Fatalf("auto P=3: %v", err)
+	}
+	if !row.Auto {
+		t.Fatal("row must be marked auto")
+	}
+}
+
+func TestCheckAcceptsAuto(t *testing.T) {
+	cfg := Config{Dataset: "cube", Width: 64, Height: 64, P: 3, Method: "auto"}
+	if err := cfg.Check(); err != nil {
+		t.Fatalf("Check must accept auto with non-power-of-two P: %v", err)
+	}
+	cfg.Method = "autobahn"
+	if err := cfg.Check(); err == nil {
+		t.Fatal("Check must reject unknown methods")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"sortlast/internal/autotune"
 	"sortlast/internal/core"
 	"sortlast/internal/costmodel"
 	"sortlast/internal/frame"
@@ -43,7 +44,10 @@ type Config struct {
 
 	Width, Height int
 	P             int
-	Method        string // core registry name (bs, bsbr, bslc, bsbrc, ...)
+	// Method is a core registry name (bs, bsbr, bslc, bsbrc, ...) or
+	// "auto": the cost model picks the cheapest binary-swap method per
+	// frame from the frame's sparsity features (see internal/autotune).
+	Method string
 
 	// RotX and RotY rotate the viewpoint (degrees), the paper's §3.2
 	// rotation study.
@@ -52,6 +56,12 @@ type Config struct {
 	// Params are the cost-model constants; zero value means the SP2
 	// preset.
 	Params costmodel.Params
+
+	// Selector carries adaptive-selection state across frames when
+	// Method is "auto". nil means each run selects from a fresh
+	// pre-scan; animations and serving tiers share one selector so the
+	// previous frame's counters and EWMA corrections inform the next.
+	Selector *autotune.Selector
 
 	// RenderOpts tune the ray caster (zero value: defaults).
 	RenderOpts render.Options
@@ -120,6 +130,10 @@ type Row struct {
 	// ValidateDiff is the max per-channel difference from the sequential
 	// reference when Config.Validate is set (else 0).
 	ValidateDiff float64
+
+	// Auto records that Method was chosen by the adaptive selector
+	// (the config requested "auto").
+	Auto bool
 }
 
 // datasetCache avoids regenerating the procedural volumes for every
@@ -274,6 +288,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 
 	rankStats := make([]*stats.Rank, cfg.P)
 	renderWall := make([]time.Duration, cfg.P)
+	compositeWall := make([]time.Duration, cfg.P)
 	var final *frame.Image
 	var validateDiff float64
 
@@ -302,7 +317,9 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 		if err := c.Barrier(); err != nil { // compositing starts together
 			return err
 		}
+		cstart := time.Now()
 		res, err := plan.CompositeRank(c, img)
+		compositeWall[me] = time.Since(cstart)
 		if err != nil {
 			return err
 		}
@@ -348,14 +365,23 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 			row.EmptyRects += r.EmptyRecvRects()
 		}
 	}
-	var maxRender time.Duration
+	var maxRender, maxComposite time.Duration
 	for _, d := range renderWall {
 		if d > maxRender {
 			maxRender = d
 		}
 	}
+	for _, d := range compositeWall {
+		if d > maxComposite {
+			maxComposite = d
+		}
+	}
 	row.RenderMS = ms(maxRender)
 	row.ValidateDiff = validateDiff
+	row.Auto = plan.Choice != nil
+	// Close the adaptive loop: this frame's counters and measured
+	// compositing wall become the selector's inputs for the next frame.
+	plan.ObserveFrame(rankStats, maxComposite)
 	if final != nil {
 		row.NonBlank = final.CountNonBlank(final.Full())
 	}

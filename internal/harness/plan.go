@@ -2,13 +2,16 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
+	"sortlast/internal/autotune"
 	"sortlast/internal/core"
 	"sortlast/internal/frame"
 	"sortlast/internal/mesh"
 	"sortlast/internal/mp"
 	"sortlast/internal/partition"
 	"sortlast/internal/render"
+	"sortlast/internal/stats"
 	"sortlast/internal/trace"
 	"sortlast/internal/transfer"
 	"sortlast/internal/volume"
@@ -28,14 +31,46 @@ type Plan struct {
 	Dec  *partition.Decomposition
 	Cam  *render.Camera
 
+	// Selector and Choice are set when the config requested Method
+	// "auto": Choice is the per-frame selection decision (Cfg.Method
+	// holds the resolved concrete method) and Selector is the stateful
+	// tuner the run's measurements feed back into.
+	Selector *autotune.Selector
+	Choice   *autotune.Choice
+
 	boxOf func(int) volume.Box
 }
 
-// NewPlan resolves cfg into an executable per-frame plan.
+// NewPlan resolves cfg into an executable per-frame plan. Method "auto"
+// is resolved here, before the world starts, so every rank runs the
+// same concrete compositor with no cross-rank coordination: the
+// selector's stored features (previous frame) drive the choice, or a
+// low-resolution pre-scan seeds them on the first frame.
 func NewPlan(cfg Config) (*Plan, error) {
 	vol, tf, err := cfg.resolve()
 	if err != nil {
 		return nil, err
+	}
+	var sel *autotune.Selector
+	var choice *autotune.Choice
+	if autotune.IsAuto(cfg.Method) {
+		sel = cfg.Selector
+		if sel == nil {
+			sel = autotune.NewSelector(cfg.params(), autotune.TransportMP)
+		}
+		ch, ok, err := sel.ChooseFor(cfg.Width, cfg.Height, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			f := autotune.Prescan(vol, tf, cfg.Width, cfg.Height, cfg.P, cfg.RotX, cfg.RotY)
+			sel.Seed(f)
+			if ch, err = sel.Choose(f); err != nil {
+				return nil, err
+			}
+		}
+		cfg.Method = ch.Method
+		choice = &ch
 	}
 	comp, dec, boxOf, err := cfg.newCompositor(vol)
 	if err != nil {
@@ -44,9 +79,24 @@ func NewPlan(cfg Config) (*Plan, error) {
 	return &Plan{
 		Cfg: cfg, Vol: vol, TF: tf,
 		Comp: comp, Dec: dec,
-		Cam:   render.NewCamera(cfg.Width, cfg.Height, vol.Bounds(), cfg.RotX, cfg.RotY),
-		boxOf: boxOf,
+		Cam:      render.NewCamera(cfg.Width, cfg.Height, vol.Bounds(), cfg.RotX, cfg.RotY),
+		Selector: sel,
+		Choice:   choice,
+		boxOf:    boxOf,
 	}, nil
+}
+
+// ObserveFrame feeds one completed frame back into the plan's selector:
+// the exact per-rank counters become the next frame's feature vector,
+// and the measured compositing wall time (slowest rank, communication
+// waits included) corrects the chosen method's EWMA factor. A no-op for
+// fixed-method plans.
+func (p *Plan) ObserveFrame(ranks []*stats.Rank, compositeWall time.Duration) {
+	if p.Selector == nil || p.Choice == nil {
+		return
+	}
+	p.Selector.UpdateFromStats(p.Cfg.Width, p.Cfg.Height, p.Cfg.P, p.Cfg.Method, ranks)
+	p.Selector.Observe(p.Choice.Method, p.Choice.Features, compositeWall)
 }
 
 // Box returns the subvolume assigned to rank me (the fold plan's box for
@@ -153,15 +203,19 @@ func (cfg *Config) Check() error {
 	if cfg.P <= 0 {
 		return fmt.Errorf("harness: P = %d must be positive", cfg.P)
 	}
-	if _, err := core.New(cfg.Method); err != nil {
-		return err
+	// "auto" resolves at plan time to one of the selector's candidates,
+	// all of which support the non-power-of-two fold.
+	if !autotune.IsAuto(cfg.Method) {
+		if _, err := core.New(cfg.Method); err != nil {
+			return err
+		}
 	}
 	if !IsPow2(cfg.P) {
 		if cfg.BalanceRender {
 			return fmt.Errorf("harness: BalanceRender requires a power-of-two P, got %d", cfg.P)
 		}
 		switch cfg.Method {
-		case "bs", "bsbr", "bslc", "bsbrc", "bsdpf", "bsvc", "bsbrlc":
+		case "bs", "bsbr", "bslc", "bsbrc", "bsdpf", "bsvc", "bsbrlc", autotune.MethodAuto:
 		default:
 			return fmt.Errorf("harness: method %q requires a power-of-two P, got %d", cfg.Method, cfg.P)
 		}

@@ -1,0 +1,200 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sortlast/internal/autotune"
+	"sortlast/internal/client"
+	"sortlast/internal/server"
+)
+
+func TestValidateMethod(t *testing.T) {
+	for _, m := range server.KnownMethods() {
+		if err := server.ValidateMethod(m); err != nil {
+			t.Errorf("ValidateMethod(%q) = %v, want nil", m, err)
+		}
+	}
+	if err := server.ValidateMethod(""); err != nil {
+		t.Errorf("empty method must be valid (server default): %v", err)
+	}
+	err := server.ValidateMethod("bsbrq")
+	if err == nil {
+		t.Fatal("unknown method must be rejected")
+	}
+	var typed *server.UnknownMethodError
+	if !errors.As(err, &typed) {
+		t.Fatalf("want *UnknownMethodError, got %T: %v", err, err)
+	}
+	if typed.Method != "bsbrq" || len(typed.Known) == 0 {
+		t.Errorf("error carries %q / %d known methods", typed.Method, len(typed.Known))
+	}
+}
+
+// An unknown method must be rejected at admission with the typed
+// bad-request code, before any rank does work.
+func TestUnknownMethodRejectedAtAdmission(t *testing.T) {
+	srv, err := server.Start(server.Config{Addr: "127.0.0.1:0", P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, srv)
+
+	cl := client.New(srv.Addr().String())
+	_, err = cl.Render(context.Background(),
+		server.Request{Dataset: "cube", Method: "bsqrc", Width: 32, Height: 32})
+	if !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("want ErrBadRequest, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("error %q should name the problem", err)
+	}
+}
+
+// Method "auto" serves frames byte-identical to the selected fixed
+// method, counts selections on /metrics, and exposes its state on
+// /debug/autotune.
+func TestServeAuto(t *testing.T) {
+	const p = 4
+	srv, err := server.Start(server.Config{
+		Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0",
+		P: p, DefaultDeadline: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, srv)
+
+	cl := client.New(srv.Addr().String())
+	req := server.Request{Dataset: "engine_low", Method: "auto", Width: 96, Height: 96, RotY: 25}
+	var frames []*client.Frame
+	for i := 0; i < 3; i++ {
+		f, err := cl.Render(context.Background(), req)
+		if err != nil {
+			t.Fatalf("auto frame %d: %v", i, err)
+		}
+		frames = append(frames, f)
+	}
+
+	// /debug/autotune reports the decision state.
+	base := "http://" + srv.HTTPAddr().String()
+	var snap autotune.Snapshot
+	getJSON(t, base+"/debug/autotune", &snap)
+	if snap.LastChoice == nil {
+		t.Fatal("snapshot has no last choice after auto frames")
+	}
+	if snap.Features == nil {
+		t.Fatal("snapshot has no features after auto frames")
+	}
+	if snap.Observed < 1 {
+		t.Errorf("observed = %d, want >= 1 (EWMA fed from measured frames)", snap.Observed)
+	}
+	chosen := snap.LastChoice.Method
+	if len(snap.LastChoice.Predictions) != len(autotune.Candidates()) {
+		t.Errorf("ranking covers %d methods, want %d",
+			len(snap.LastChoice.Predictions), len(autotune.Candidates()))
+	}
+
+	// The latest auto frame must be byte-identical to a fixed run of the
+	// method the selector last chose (auto is routing, not rendering).
+	fixedReq := req
+	fixedReq.Method = chosen
+	fixed, err := cl.Render(context.Background(), fixedReq)
+	if err != nil {
+		t.Fatalf("fixed %s: %v", chosen, err)
+	}
+	if !bytes.Equal(fixed.Gray, frames[2].Gray) {
+		t.Errorf("auto (via %s) and fixed %s frames differ", chosen, chosen)
+	}
+
+	// /metrics counts every auto frame under the method it resolved to
+	// (the selector may legitimately switch between frames as measured
+	// features replace the pre-scan, so assert the total).
+	mb := getBody(t, base+"/metrics")
+	if got := sumMetric(t, mb, "renderd_method_selected_total"); got != 3 {
+		t.Errorf("method_selected_total sums to %d, want 3:\n%s",
+			got, keepLines(mb, "method_selected"))
+	}
+	if !strings.Contains(mb, "renderd_frames_total{method="+fmt.Sprintf("%q", chosen)) {
+		t.Errorf("frames_total missing method %q", chosen)
+	}
+}
+
+// A nil Profile must fall back to the SP2 preset; a calibrated profile
+// missing the server's transport must fail Start.
+func TestStartProfileTransportMismatch(t *testing.T) {
+	prof := autotune.DefaultProfile()
+	delete(prof.Transports, autotune.TransportMP)
+	_, err := server.Start(server.Config{Addr: "127.0.0.1:0", P: 2, Profile: prof})
+	if err == nil {
+		t.Fatal("profile without the world's transport must fail Start")
+	}
+}
+
+func shutdown(t *testing.T, srv *server.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	if err := json.Unmarshal([]byte(getBody(t, url)), v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// sumMetric totals every sample line of one counter family.
+func sumMetric(t *testing.T, body, name string) int {
+	t.Helper()
+	total := 0
+	for _, ln := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(ln, name+"{") {
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(ln[strings.LastIndex(ln, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("bad metric line %q: %v", ln, err)
+		}
+		total += v
+	}
+	return total
+}
+
+func keepLines(s, substr string) string {
+	var out []string
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.Contains(ln, substr) {
+			out = append(out, ln)
+		}
+	}
+	return strings.Join(out, "\n")
+}

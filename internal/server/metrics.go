@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sortlast/internal/autotune"
 	"sortlast/internal/core"
 )
 
@@ -74,6 +75,7 @@ var phaseNames = []string{"render", "composite", "gather"}
 // latency histograms take a mutex only to bump one bucket.
 type metrics struct {
 	frames   map[string]*atomic.Int64 // completed frames per method
+	selected map[string]*atomic.Int64 // auto-selected frames per chosen method
 	errors   map[string]*atomic.Int64 // rejected/failed requests per code
 	inflight atomic.Int64             // frames dispatched, not yet replied
 	wire     atomic.Int64             // compositing bytes received, all ranks
@@ -88,6 +90,7 @@ func newMetrics(queueDepth func() int) *metrics {
 	buckets := []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 	m := &metrics{
 		frames:     make(map[string]*atomic.Int64),
+		selected:   make(map[string]*atomic.Int64),
 		errors:     make(map[string]*atomic.Int64),
 		queueDepth: queueDepth,
 		latency:    newHistogram(buckets),
@@ -95,6 +98,9 @@ func newMetrics(queueDepth func() int) *metrics {
 	}
 	for _, name := range core.Names() {
 		m.frames[name] = new(atomic.Int64)
+	}
+	for _, name := range autotune.Candidates() {
+		m.selected[name] = new(atomic.Int64)
 	}
 	for _, code := range []string{CodeOverloaded, CodeBadRequest, CodeDeadline, CodeShutdown, CodeInternal} {
 		m.errors[code] = new(atomic.Int64)
@@ -110,6 +116,13 @@ func (m *metrics) frameDone(method string, latency time.Duration) {
 		c.Add(1)
 	}
 	m.latency.observe(latency.Seconds())
+}
+
+// methodSelected counts one Method "auto" frame resolved to method.
+func (m *metrics) methodSelected(method string) {
+	if c := m.selected[method]; c != nil {
+		c.Add(1)
+	}
 }
 
 // phaseDone records one phase's completion time (the slowest rank's
@@ -132,6 +145,11 @@ func (m *metrics) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE renderd_frames_total counter\n")
 	for _, name := range core.Names() {
 		fmt.Fprintf(w, "renderd_frames_total{method=%q} %d\n", name, m.frames[name].Load())
+	}
+	fmt.Fprintf(w, "# HELP renderd_method_selected_total Method-auto frames, by the method the selector chose.\n")
+	fmt.Fprintf(w, "# TYPE renderd_method_selected_total counter\n")
+	for _, name := range autotune.Candidates() {
+		fmt.Fprintf(w, "renderd_method_selected_total{method=%q} %d\n", name, m.selected[name].Load())
 	}
 	fmt.Fprintf(w, "# HELP renderd_request_errors_total Requests answered with a typed error, by code.\n")
 	fmt.Fprintf(w, "# TYPE renderd_request_errors_total counter\n")

@@ -24,6 +24,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -33,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sortlast/internal/autotune"
 	"sortlast/internal/frame"
 	"sortlast/internal/harness"
 	"sortlast/internal/mp"
@@ -69,6 +71,11 @@ type Config struct {
 	Workers int
 	// RecvTimeout is the rank pool's receive timeout (0: the mp default).
 	RecvTimeout time.Duration
+
+	// Profile supplies calibrated cost-model constants for Method "auto"
+	// requests (see cmd/calibrate). It must cover the World transport.
+	// Nil falls back to the paper's SP2 preset.
+	Profile *autotune.Profile
 
 	// DisableTracing turns off the per-frame span recorder. By default
 	// every frame records per-rank spans (a few hundred appends per
@@ -136,6 +143,11 @@ type Server struct {
 	world resident
 	met   *metrics
 
+	// sel is the shared autotune selector serving Method "auto"
+	// requests: one per server so EWMA corrections and frame-derived
+	// features accumulate across requests and connections.
+	sel *autotune.Selector
+
 	queue  chan *job
 	tokens chan struct{} // in-flight bound
 	stop   chan struct{}
@@ -170,11 +182,24 @@ func Start(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight < 1 || cfg.QueueDepth < 1 {
 		return nil, fmt.Errorf("server: MaxInFlight and QueueDepth must be positive")
 	}
+	prof := cfg.Profile
+	if prof == nil {
+		prof = autotune.DefaultProfile()
+	}
+	transport := cfg.World
+	if transport == "" {
+		transport = autotune.TransportMP
+	}
+	params, err := prof.Params(transport)
+	if err != nil {
+		return nil, err
+	}
 	world, err := newResident(cfg.World, cfg.P, cfg.WorldAddrs, mp.Options{RecvTimeout: cfg.RecvTimeout})
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
+		sel: autotune.NewSelector(params, transport),
 		cfg:       cfg,
 		world:     world,
 		queue:     make(chan *job, cfg.QueueDepth),
@@ -215,6 +240,7 @@ func Start(cfg Config) (*Server, error) {
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/metrics", s.handleMetrics)
 		mux.HandleFunc("/debug/trace/last", s.handleTraceLast)
+		mux.HandleFunc("/debug/autotune", s.handleAutotune)
 		// Explicit pprof routes: the sidecar uses its own mux, so the
 		// net/http/pprof init() registrations on DefaultServeMux don't
 		// apply.
@@ -262,6 +288,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.WriteProm(w)
+}
+
+// handleAutotune serves the autotune selector's introspection snapshot:
+// the cost-model parameters, the standing feature vector, the latest
+// full prediction ranking, the per-method EWMA correction factors and
+// selection counts.
+func (s *Server) handleAutotune(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.sel.Snapshot())
 }
 
 // handleTraceLast serves the most recently completed frame's span trace
@@ -368,7 +405,9 @@ func (s *Server) compositeLoop(me int, c mp.Comm, in <-chan rendered) {
 		// attached per frame; the nil store afterwards keeps a finished
 		// job's recorder from collecting a later frame's spans.
 		c.SetTracer(j.rec.Rank(me))
+		cstart := time.Now()
 		res, err := j.plan.CompositeRank(c, rj.img)
+		compositeWall := time.Since(cstart)
 		if err == nil {
 			img, err = j.plan.GatherRank(c, res)
 		}
@@ -398,6 +437,21 @@ func (s *Server) compositeLoop(me int, c mp.Comm, in <-chan rendered) {
 					s.lastTrace.Store(j.rec)
 				}
 				j.finish(reply{img: img})
+				if j.plan.Choice != nil {
+					// Feedback after the reply is on its way, so it never
+					// adds to request latency: the measured composite wall
+					// (slowest rank when traced, rank 0 otherwise — binary
+					// swap synchronizes, so rank 0's wall includes waits)
+					// corrects the chosen method's EWMA factor, and the
+					// gathered frame's exact sparsity becomes the feature
+					// vector the next "auto" request predicts from.
+					measured := compositeWall
+					if j.rec != nil {
+						measured = j.rec.MaxTotal(trace.SpanCompositing)
+					}
+					j.plan.Selector.Observe(j.plan.Choice.Method, j.plan.Choice.Features, measured)
+					j.plan.Selector.Seed(autotune.ScanFeatures(img, j.plan.Cfg.P))
+				}
 			}
 		}
 	}
@@ -412,6 +466,10 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 		s.met.requestFailed(CodeInternal)
 		return &Response{Code: CodeInternal, Error: fmt.Sprintf("pipeline failed: %v", err)}, nil
 	}
+	if err := ValidateMethod(req.Method); err != nil {
+		s.met.requestFailed(CodeBadRequest)
+		return &Response{Code: CodeBadRequest, Error: err.Error()}, nil
+	}
 	cfg := harness.Config{
 		Dataset: req.Dataset,
 		Width:   req.Width, Height: req.Height,
@@ -422,6 +480,12 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 	}
 	if cfg.Method == "" {
 		cfg.Method = "bsbrc"
+	}
+	if autotune.IsAuto(cfg.Method) {
+		// The server-wide selector resolves "auto" at plan time (inside
+		// NewPlan), so all ranks of this frame run the same compositor
+		// and corrections accumulate across requests.
+		cfg.Selector = s.sel
 	}
 	if err := cfg.Check(); err != nil {
 		s.met.requestFailed(CodeBadRequest)
@@ -436,10 +500,15 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 	if req.DeadlineMS > 0 {
 		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
+	if plan.Choice != nil {
+		// Method "auto": cfg still says "auto" but the plan resolved it;
+		// count what the selector picked.
+		s.met.methodSelected(plan.Cfg.Method)
+	}
 	now := time.Now()
 	j := &job{
 		plan:     plan,
-		method:   cfg.Method,
+		method:   plan.Cfg.Method,
 		admitted: now,
 		deadline: now.Add(deadline),
 		done:     make(chan reply, 1),
