@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json bench-autotune
+.PHONY: check vet build test race chaos bench bench-json bench-autotune
 
 # check is the pre-commit gate: static analysis, a full build, the full
 # test suite, and the race detector over the packages that run
@@ -20,7 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./internal/render/ ./internal/core/ ./internal/mp/ \
-		./internal/mpnet/ ./internal/server/
+		./internal/mpnet/ ./internal/server/ ./internal/faultinject/ \
+		./internal/client/
+
+# chaos drives an in-process renderd through injected connection resets
+# with a retrying client: the run fails only if a configuration cannot
+# serve a single frame through the world restarts.
+chaos:
+	$(GO) run ./cmd/servebench -chaos -frames 16 -size 96 -out -
 
 # bench runs the compositing allocation benchmarks used in EXPERIMENTS.md.
 bench:

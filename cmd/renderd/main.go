@@ -39,6 +39,7 @@ var (
 	queue       = flag.Int("queue", 64, "admission queue depth (full queue rejects with a typed overload error)")
 	inflight    = flag.Int("inflight", 2, "max frames pipelined through the render/composite stages")
 	deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	frameTO     = flag.Duration("frame-timeout", 0, "per-frame watchdog deadline; a frame stuck longer fails the rank world, which is rebuilt (0: 60s)")
 	workers     = flag.Int("workers", 0, "ray-casting workers per rank (0: GOMAXPROCS)")
 	profilePath = flag.String("profile", "", "machine profile JSON from cmd/calibrate, driving Method \"auto\" selection (default: the paper's SP2 preset)")
 	drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
@@ -81,6 +82,7 @@ func run() error {
 		QueueDepth:      *queue,
 		MaxInFlight:     *inflight,
 		DefaultDeadline: *deadline,
+		FrameTimeout:    *frameTO,
 		Workers:         *workers,
 		Profile:         prof,
 		DisableTracing:  *noTrace,

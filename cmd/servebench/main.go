@@ -20,16 +20,19 @@ import (
 	"time"
 
 	"sortlast/internal/client"
+	"sortlast/internal/faultinject"
 	"sortlast/internal/server"
 )
 
 var (
-	frames   = flag.Int("frames", 32, "frames per configuration")
-	size     = flag.Int("size", 256, "image size (square)")
-	inflight = flag.Int("inflight", 2, "max frames pipelined through the stages")
-	conc     = flag.Int("conc", 8, "concurrent client requests")
-	out      = flag.String("out", "BENCH_serve.json", "output path (- for stdout)")
-	metrics  = flag.String("metrics-addr", "", "observability sidecar address for the in-process renderd (/healthz, /metrics, /debug/pprof/, /debug/trace/last); empty (the default) disables")
+	frames    = flag.Int("frames", 32, "frames per configuration")
+	size      = flag.Int("size", 256, "image size (square)")
+	inflight  = flag.Int("inflight", 2, "max frames pipelined through the stages")
+	conc      = flag.Int("conc", 8, "concurrent client requests")
+	out       = flag.String("out", "BENCH_serve.json", "output path (- for stdout)")
+	metrics   = flag.String("metrics-addr", "", "observability sidecar address for the in-process renderd (/healthz, /metrics, /debug/pprof/, /debug/trace/last); empty (the default) disables")
+	chaos     = flag.Bool("chaos", false, "inject probabilistic connection resets into the rank world and drive through them with a retrying client (exercises world supervision under load; failed frames are counted, not fatal)")
+	chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed, so a chaos run is reproducible")
 )
 
 // record is one benchmark configuration's result.
@@ -42,6 +45,11 @@ type record struct {
 	P50MS     float64 `json:"p50_ms"`
 	P99MS     float64 `json:"p99_ms"`
 	WireBytes int64   `json:"wire_bytes_per_frame"`
+
+	// Chaos-mode extras: frames that exhausted their retry budget and
+	// how many times the supervisor rebuilt the rank world.
+	Failed        int   `json:"failed_frames,omitempty"`
+	WorldRestarts int64 `json:"world_restarts,omitempty"`
 }
 
 func main() {
@@ -61,8 +69,12 @@ func run() error {
 				return fmt.Errorf("P=%d method=%s: %w", p, method, err)
 			}
 			records = append(records, rec)
-			fmt.Fprintf(os.Stderr, "P=%d %-6s %6.2f frames/s  p50 %6.1f ms  p99 %6.1f ms\n",
+			line := fmt.Sprintf("P=%d %-6s %6.2f frames/s  p50 %6.1f ms  p99 %6.1f ms",
 				rec.P, rec.Method, rec.FPS, rec.P50MS, rec.P99MS)
+			if *chaos {
+				line += fmt.Sprintf("  world restarts %d  failed frames %d", rec.WorldRestarts, rec.Failed)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 	buf, err := json.MarshalIndent(records, "", "  ")
@@ -78,13 +90,18 @@ func run() error {
 }
 
 func bench(p int, method string) (record, error) {
-	srv, err := server.Start(server.Config{
+	cfg := server.Config{
 		Addr: "127.0.0.1:0", P: p,
 		HTTPAddr:        *metrics,
 		QueueDepth:      2 * *frames,
 		MaxInFlight:     *inflight,
 		DefaultDeadline: 5 * time.Minute,
-	})
+	}
+	if *chaos {
+		cfg.Chaos = faultinject.New(faultinject.Config{Seed: *chaosSeed, ResetProb: 0.01})
+		cfg.FrameTimeout = 2 * time.Second
+	}
+	srv, err := server.Start(cfg)
 	if err != nil {
 		return record{}, fmt.Errorf("in-process renderd failed to start (world=mp, P=%d): %w", p, err)
 	}
@@ -95,15 +112,23 @@ func bench(p int, method string) (record, error) {
 	}()
 	cl := client.New(srv.Addr().String())
 	defer cl.Close()
+	if *chaos {
+		cl.SetRetryPolicy(client.RetryPolicy{
+			MaxAttempts: 10,
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+		})
+	}
 
 	req := server.Request{Dataset: "cube", Method: method, Width: *size, Height: *size, RotY: 30}
 	ctx := context.Background()
-	if _, err := cl.Render(ctx, req); err != nil { // warm the dataset cache
+	if _, err := cl.Render(ctx, req); err != nil && !*chaos { // warm the dataset cache
 		return record{}, err
 	}
 
-	latencies := make([]time.Duration, *frames)
+	var latencies []time.Duration
 	var wire int64
+	var failed int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, *conc)
@@ -112,7 +137,7 @@ func bench(p int, method string) (record, error) {
 	for i := 0; i < *frames; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
@@ -122,16 +147,26 @@ func bench(p int, method string) (record, error) {
 				return
 			}
 			mu.Lock()
-			latencies[i] = time.Since(t0)
+			latencies = append(latencies, time.Since(t0))
 			wire += f.Stats.WireBytes
 			mu.Unlock()
-		}(i)
+		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	close(errs)
+	var lastErr error
 	for err := range errs {
-		return record{}, err
+		// Under chaos a frame may exhaust its retry budget; count it and
+		// keep going. A failure without chaos is a real bug.
+		if !*chaos {
+			return record{}, err
+		}
+		failed++
+		lastErr = err
+	}
+	if len(latencies) == 0 {
+		return record{}, fmt.Errorf("all %d frames failed: %w", *frames, lastErr)
 	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -140,10 +175,12 @@ func bench(p int, method string) (record, error) {
 		return float64(latencies[i]) / float64(time.Millisecond)
 	}
 	return record{
-		P: p, Method: method, Frames: *frames, Size: *size,
-		FPS:       float64(*frames) / elapsed.Seconds(),
-		P50MS:     quantile(0.50),
-		P99MS:     quantile(0.99),
-		WireBytes: wire / int64(*frames),
+		P: p, Method: method, Frames: len(latencies), Size: *size,
+		FPS:           float64(len(latencies)) / elapsed.Seconds(),
+		P50MS:         quantile(0.50),
+		P99MS:         quantile(0.99),
+		WireBytes:     wire / int64(len(latencies)),
+		Failed:        failed,
+		WorldRestarts: srv.WorldRestarts(),
 	}, nil
 }

@@ -10,7 +10,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"sortlast/internal/server"
@@ -29,9 +31,21 @@ var (
 	ErrDeadline = errors.New("renderd: deadline exceeded")
 	// ErrShutdown means the server is draining and no longer admits work.
 	ErrShutdown = errors.New("renderd: server shutting down")
+	// ErrWorldFailed means the resident rank world died or wedged while
+	// the request was in flight; the server rebuilds the world, so the
+	// request may be retried.
+	ErrWorldFailed = errors.New("renderd: rank world failed")
 	// ErrInternal means the serving pipeline failed.
 	ErrInternal = errors.New("renderd: internal server error")
 )
+
+// Retryable reports whether err is a typed server reply worth retrying:
+// backpressure (ErrOverloaded) and world failure (ErrWorldFailed) are
+// transient — the queue drains, the supervisor rebuilds the world —
+// while the other codes are permanent for the same request.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrOverloaded) || errors.Is(err, ErrWorldFailed)
+}
 
 // Error is a typed failure reply from the server.
 type Error struct {
@@ -53,6 +67,8 @@ func (e *Error) Unwrap() error {
 		return ErrDeadline
 	case server.CodeShutdown:
 		return ErrShutdown
+	case server.CodeWorldFailed:
+		return ErrWorldFailed
 	default:
 		return ErrInternal
 	}
@@ -69,10 +85,43 @@ type Frame struct {
 // At returns the gray value at (x, y).
 func (f *Frame) At(x, y int) uint8 { return f.Gray[y*f.Width+x] }
 
+// RetryPolicy bounds the client's automatic retries of retryable typed
+// errors (see Retryable). The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values below 2 disable retries.
+	MaxAttempts int
+	// BaseBackoff caps the first retry's sleep; the cap doubles per
+	// subsequent retry up to MaxBackoff, and the actual sleep is drawn
+	// uniformly in (0, cap] (full jitter, so synchronized retry storms
+	// decorrelate). Zero means 20ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff growth. Zero means 1s.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 20 * time.Millisecond
+	}
+	return p.BaseBackoff
+}
+
+func (p RetryPolicy) max() time.Duration {
+	if p.MaxBackoff <= 0 {
+		return time.Second
+	}
+	return p.MaxBackoff
+}
+
 // Client talks to one renderd instance. It is safe for concurrent use;
 // each in-flight Render occupies one pooled connection.
 type Client struct {
-	addr string
+	addr  string
+	retry RetryPolicy
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	idle chan net.Conn
 }
@@ -83,13 +132,70 @@ const maxIdleConns = 16
 // New returns a client for the renderd instance at addr. Connections
 // are dialed lazily on first use.
 func New(addr string) *Client {
-	return &Client{addr: addr, idle: make(chan net.Conn, maxIdleConns)}
+	return &Client{
+		addr: addr,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		idle: make(chan net.Conn, maxIdleConns),
+	}
 }
 
-// Render requests one frame. The context bounds the whole round trip;
-// its deadline (when set and sooner than req.DeadlineMS) is also shipped
-// to the server so queue-side cancellation matches the caller's budget.
+// SetRetryPolicy enables automatic retries of retryable typed errors
+// (overloaded, world_failed) with jittered exponential backoff. Set it
+// before sharing the client across goroutines.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// Render requests one frame. The context bounds the whole round trip —
+// retries and their backoffs included; its deadline (when set and sooner
+// than req.DeadlineMS) is also shipped to the server so queue-side
+// cancellation matches the caller's budget. Retryable typed errors
+// (ErrOverloaded, ErrWorldFailed) are retried within the client's
+// RetryPolicy budget; the last typed error is returned when it runs out.
 func (c *Client) Render(ctx context.Context, req server.Request) (*Frame, error) {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		frame, err := c.renderOnce(ctx, req)
+		if err == nil || !Retryable(err) || attempt+1 >= attempts {
+			return frame, err
+		}
+		if !c.backoff(ctx, attempt) {
+			// No budget left to sleep and retry; the last typed error is
+			// more useful than a bare deadline error.
+			return nil, err
+		}
+	}
+}
+
+// backoff sleeps one jittered, capped exponential backoff step. It
+// returns false when the context is cancelled or its deadline leaves no
+// room for the sleep plus a useful retry.
+func (c *Client) backoff(ctx context.Context, attempt int) bool {
+	limit := c.retry.base() << attempt
+	if maxB := c.retry.max(); limit > maxB || limit <= 0 { // <<: overflow guard
+		limit = maxB
+	}
+	c.rngMu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(limit))) + 1
+	c.rngMu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); remaining <= d {
+			return false // would sleep into (or past) the deadline
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// renderOnce is one request/reply round trip over one pooled connection.
+func (c *Client) renderOnce(ctx context.Context, req server.Request) (*Frame, error) {
 	if d, ok := ctx.Deadline(); ok {
 		ms := time.Until(d).Milliseconds()
 		if ms <= 0 {
@@ -162,7 +268,13 @@ func (c *Client) conn(ctx context.Context) (net.Conn, error) {
 }
 
 func (c *Client) release(conn net.Conn) {
-	conn.SetDeadline(time.Time{})
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		// The deadline could not be cleared (connection torn down, fd
+		// gone): pooling it would poison a later Render with a stale
+		// deadline or a dead stream. Drop it instead.
+		conn.Close()
+		return
+	}
 	select {
 	case c.idle <- conn:
 	default:

@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sortlast/internal/server"
+)
+
+// stubServer answers each request on a connection with the scripted
+// reply codes in order; "" means a successful 1x1 frame.
+func stubServer(t *testing.T, codes []string) (addr string, requests *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	requests = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					var req server.Request
+					if err := server.ReadJSON(conn, server.MaxRequestFrame, &req); err != nil {
+						return
+					}
+					n := int(requests.Add(1)) - 1
+					code := ""
+					if n < len(codes) {
+						code = codes[n]
+					}
+					if code == "" {
+						server.WriteJSON(conn, server.Response{OK: true, Width: 1, Height: 1})
+						server.WriteFrame(conn, []byte{200})
+						continue
+					}
+					server.WriteJSON(conn, server.Response{Code: code, Error: "scripted"})
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), requests
+}
+
+func TestRetryableErrorsRecover(t *testing.T) {
+	addr, requests := stubServer(t, []string{server.CodeOverloaded, server.CodeWorldFailed, ""})
+	c := New(addr)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	f, err := c.Render(ctx, server.Request{Dataset: "cube", Width: 1, Height: 1})
+	if err != nil {
+		t.Fatalf("Render with retries = %v", err)
+	}
+	if f.At(0, 0) != 200 {
+		t.Errorf("frame pixel = %d, want 200", f.At(0, 0))
+	}
+	if n := requests.Load(); n != 3 {
+		t.Errorf("server saw %d requests, want 3 (two retries)", n)
+	}
+}
+
+// Without a retry policy the first typed error surfaces immediately.
+func TestNoRetryByDefault(t *testing.T) {
+	addr, requests := stubServer(t, []string{server.CodeWorldFailed, ""})
+	c := New(addr)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Render(ctx, server.Request{}); !errors.Is(err, ErrWorldFailed) {
+		t.Fatalf("Render = %v, want ErrWorldFailed", err)
+	}
+	if n := requests.Load(); n != 1 {
+		t.Errorf("server saw %d requests, want 1", n)
+	}
+}
+
+// Non-retryable codes are never retried even with a policy.
+func TestBadRequestNotRetried(t *testing.T) {
+	addr, requests := stubServer(t, []string{server.CodeBadRequest, ""})
+	c := New(addr)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Render(ctx, server.Request{}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Render = %v, want ErrBadRequest", err)
+	}
+	if n := requests.Load(); n != 1 {
+		t.Errorf("server saw %d requests, want 1 (no retries)", n)
+	}
+}
+
+// The retry budget honors the context deadline: backoffs never sleep
+// past it, and the last typed error is returned rather than a bare
+// deadline error.
+func TestRetryHonorsDeadline(t *testing.T) {
+	codes := make([]string, 1000)
+	for i := range codes {
+		codes[i] = server.CodeOverloaded
+	}
+	addr, _ := stubServer(t, codes)
+	c := New(addr)
+	c.SetRetryPolicy(RetryPolicy{MaxAttempts: 1000, BaseBackoff: 40 * time.Millisecond, MaxBackoff: 40 * time.Millisecond})
+	defer c.Close()
+	const budget = 250 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Render(ctx, server.Request{})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Render = %v, want the last typed ErrOverloaded", err)
+	}
+	if elapsed > budget+150*time.Millisecond {
+		t.Errorf("Render took %v for a %v budget: a backoff slept past the deadline", elapsed, budget)
+	}
+}
+
+// fakeConn is a net.Conn whose SetDeadline fails, as a torn-down TCP
+// connection's does.
+type fakeConn struct {
+	net.Conn
+	closed      atomic.Bool
+	deadlineErr error
+}
+
+func (f *fakeConn) SetDeadline(time.Time) error { return f.deadlineErr }
+func (f *fakeConn) Close() error                { f.closed.Store(true); return nil }
+
+// release must not return a connection whose deadline could not be
+// cleared to the idle pool: a later Render would inherit a stale
+// deadline or a dead stream.
+func TestReleaseDropsPoisonedConn(t *testing.T) {
+	c := New("127.0.0.1:0")
+	bad := &fakeConn{deadlineErr: errors.New("use of closed network connection")}
+	c.release(bad)
+	if !bad.closed.Load() {
+		t.Error("poisoned connection was not closed")
+	}
+	select {
+	case conn := <-c.idle:
+		t.Errorf("poisoned connection %v returned to the idle pool", conn)
+	default:
+	}
+
+	good := &fakeConn{}
+	c.release(good)
+	if good.closed.Load() {
+		t.Error("healthy connection was closed instead of pooled")
+	}
+	select {
+	case <-c.idle:
+	default:
+		t.Error("healthy connection missing from the idle pool")
+	}
+}

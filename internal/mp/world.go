@@ -91,13 +91,26 @@ func Run(p int, opts Options, fn func(c Comm) error) error {
 	if err != nil {
 		return err
 	}
+	return runRanks(p, w.Comm, w.closeAll, fn)
+}
+
+// runRanks spawns fn on ranks built by comm. If building a rank's
+// endpoint fails mid-loop, the world is closed (releasing already-spawned
+// ranks blocked in Recv) and the spawned ranks are waited for before the
+// error is returned — an early return here would leak those goroutines
+// and leave the world open forever. Split from Run so the build-failure
+// path is testable with an injected comm builder.
+func runRanks(p int, comm func(int) (Comm, error), closeAll func(), fn func(c Comm) error) error {
 	errs := make([]error, p)
 	panics := make([]any, p)
+	var commErr error
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
-		c, err := w.Comm(r)
+		c, err := comm(r)
 		if err != nil {
-			return err
+			commErr = err
+			closeAll() // release already-spawned ranks blocked in Recv
+			break
 		}
 		wg.Add(1)
 		go func(r int, c Comm) {
@@ -105,7 +118,7 @@ func Run(p int, opts Options, fn func(c Comm) error) error {
 			defer func() {
 				if v := recover(); v != nil {
 					panics[r] = v
-					w.closeAll() // release ranks blocked in Recv
+					closeAll()
 				}
 			}()
 			errs[r] = fn(c)
@@ -116,6 +129,9 @@ func Run(p int, opts Options, fn func(c Comm) error) error {
 		if v != nil {
 			panic(fmt.Sprintf("mp: rank %d panicked: %v", r, v))
 		}
+	}
+	if commErr != nil {
+		return commErr
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,53 @@
+package mp
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// A comm builder that fails mid-loop must not leak the already-spawned
+// ranks: runRanks closes the world so ranks blocked in Recv drain, waits
+// for them, and returns the build error.
+func TestRunRanksCommFailureClosesWorldAndWaits(t *testing.T) {
+	const p = 4
+	w, err := NewWorld(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildErr := errors.New("injected comm failure")
+	comm := func(r int) (Comm, error) {
+		if r == 2 {
+			return nil, buildErr
+		}
+		return w.Comm(r)
+	}
+	exited := make(chan int, p)
+	done := make(chan error, 1)
+	go func() {
+		done <- runRanks(p, comm, w.closeAll, func(c Comm) error {
+			defer func() { exited <- c.Rank() }()
+			// Block on a message that never comes; only the world close
+			// can release this rank.
+			_, err := c.Recv((c.Rank()+1)%p, 5)
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, buildErr) {
+			t.Errorf("runRanks = %v, want the injected build error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runRanks hung after a mid-loop comm failure")
+	}
+	// Both spawned ranks (0 and 1) must have exited before runRanks
+	// returned; their exit notes are already buffered.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-exited:
+		default:
+			t.Fatalf("only %d spawned ranks exited before runRanks returned", i)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package mpnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// refusedAddr returns a loopback address with no listener: dials fail
+// fast with connection refused.
+func refusedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// dialRetry must give up close to the deadline: its backoff sleeps are
+// clamped to the remaining budget, so the total overshoot is bounded by
+// one (fast) failed dial attempt, not by a full backoff period.
+func TestDialRetryHonorsDeadline(t *testing.T) {
+	addr := refusedAddr(t)
+	const budget = 200 * time.Millisecond
+	start := time.Now()
+	_, err := dialRetry(addr, start.Add(budget))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial to a refused port succeeded")
+	}
+	if elapsed > budget+150*time.Millisecond {
+		t.Errorf("dialRetry took %v for a %v budget: backoff slept past the deadline", elapsed, budget)
+	}
+}
+
+// A past deadline fails immediately without dialing or sleeping.
+func TestDialRetryExpiredDeadline(t *testing.T) {
+	start := time.Now()
+	if _, err := dialRetry(refusedAddr(t), start.Add(-time.Second)); err == nil {
+		t.Fatal("expired deadline must fail")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("expired-deadline dialRetry took %v", elapsed)
+	}
+}

@@ -36,6 +36,11 @@ type Config struct {
 	// included; zero means 30 seconds.
 	DialTimeout time.Duration
 
+	// WrapTransport, when set, wraps the rank's transport before the
+	// Comm is built on top of it. Fault-injection layers
+	// (internal/faultinject) hook in here.
+	WrapTransport func(mp.Transport) mp.Transport
+
 	// Opts configure the Comm built on top of the transport.
 	Opts mp.Options
 }
@@ -179,7 +184,11 @@ func Connect(cfg Config) (*Node, error) {
 		}
 	}
 
-	comm, err := mp.FromTransport(cfg.Rank, size, tr, cfg.Opts)
+	var wrapped mp.Transport = tr
+	if cfg.WrapTransport != nil {
+		wrapped = cfg.WrapTransport(tr)
+	}
+	comm, err := mp.FromTransport(cfg.Rank, size, wrapped, cfg.Opts)
 	if err != nil {
 		tr.close()
 		return nil, err
@@ -187,8 +196,17 @@ func Connect(cfg Config) (*Node, error) {
 	return &Node{comm: comm, tr: tr, listener: ln}, nil
 }
 
+// Dial retry backoff: start small (the peer's listener is usually up
+// within milliseconds), double per attempt, cap so a slow peer is still
+// polled a few times per second.
+const (
+	dialBackoffMin = 2 * time.Millisecond
+	dialBackoffMax = 250 * time.Millisecond
+)
+
 func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 	var lastErr error
+	backoff := dialBackoffMin
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -202,8 +220,20 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
-		// The peer's listener may not be up yet; back off briefly.
-		time.Sleep(20 * time.Millisecond)
+		// The peer's listener may not be up yet; back off exponentially,
+		// capped, and never sleep past the remaining deadline (a fixed
+		// sleep here could overshoot it and turn a tight dial budget into
+		// a late failure).
+		sleep := backoff
+		if remaining = time.Until(deadline); sleep > remaining {
+			sleep = remaining
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
 	}
 }
 

@@ -68,17 +68,21 @@ func (h *histogram) write(w io.Writer, name, labels string) {
 // phases of a frame with per-phase latency histograms, in export order.
 var phaseNames = []string{"render", "composite", "gather"}
 
+// errorCodes pre-registers the typed reply codes, in export order.
+var errorCodes = []string{CodeOverloaded, CodeBadRequest, CodeDeadline, CodeShutdown, CodeInternal, CodeWorldFailed}
+
 // metrics is renderd's observability surface, exposed as Prometheus
 // text format on the HTTP sidecar. Counters are lock-free atomics keyed
 // by pre-registered label values (methods from the core registry, the
 // protocol's error codes), so the hot path never allocates or locks; the
 // latency histograms take a mutex only to bump one bucket.
 type metrics struct {
-	frames   map[string]*atomic.Int64 // completed frames per method
-	selected map[string]*atomic.Int64 // auto-selected frames per chosen method
-	errors   map[string]*atomic.Int64 // rejected/failed requests per code
-	inflight atomic.Int64             // frames dispatched, not yet replied
-	wire     atomic.Int64             // compositing bytes received, all ranks
+	frames        map[string]*atomic.Int64 // completed frames per method
+	selected      map[string]*atomic.Int64 // auto-selected frames per chosen method
+	errors        map[string]*atomic.Int64 // rejected/failed requests per code
+	inflight      atomic.Int64             // frames dispatched, not yet replied
+	wire          atomic.Int64             // compositing bytes received, all ranks
+	worldRestarts atomic.Int64             // rank worlds torn down and rebuilt
 
 	queueDepth func() int // sampled at scrape time
 
@@ -102,7 +106,7 @@ func newMetrics(queueDepth func() int) *metrics {
 	for _, name := range autotune.Candidates() {
 		m.selected[name] = new(atomic.Int64)
 	}
-	for _, code := range []string{CodeOverloaded, CodeBadRequest, CodeDeadline, CodeShutdown, CodeInternal} {
+	for _, code := range errorCodes {
 		m.errors[code] = new(atomic.Int64)
 	}
 	for _, p := range phaseNames {
@@ -153,9 +157,12 @@ func (m *metrics) WriteProm(w io.Writer) {
 	}
 	fmt.Fprintf(w, "# HELP renderd_request_errors_total Requests answered with a typed error, by code.\n")
 	fmt.Fprintf(w, "# TYPE renderd_request_errors_total counter\n")
-	for _, code := range []string{CodeOverloaded, CodeBadRequest, CodeDeadline, CodeShutdown, CodeInternal} {
+	for _, code := range errorCodes {
 		fmt.Fprintf(w, "renderd_request_errors_total{code=%q} %d\n", code, m.errors[code].Load())
 	}
+	fmt.Fprintf(w, "# HELP renderd_world_restarts_total Rank worlds torn down and rebuilt after a pipeline failure or watchdog wedge.\n")
+	fmt.Fprintf(w, "# TYPE renderd_world_restarts_total counter\n")
+	fmt.Fprintf(w, "renderd_world_restarts_total %d\n", m.worldRestarts.Load())
 	fmt.Fprintf(w, "# HELP renderd_queue_depth Requests admitted and waiting for dispatch.\n")
 	fmt.Fprintf(w, "# TYPE renderd_queue_depth gauge\n")
 	fmt.Fprintf(w, "renderd_queue_depth %d\n", m.queueDepth())

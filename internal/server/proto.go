@@ -58,6 +58,11 @@ const (
 	CodeDeadline   = "deadline_exceeded"
 	CodeShutdown   = "shutting_down"
 	CodeInternal   = "internal"
+	// CodeWorldFailed means the resident rank world died or wedged while
+	// the request was in flight; the world is being rebuilt and the
+	// request may be retried (the supervision layer restarts the pool,
+	// so a later attempt lands on a fresh world).
+	CodeWorldFailed = "world_failed"
 )
 
 // Response is the header of one reply.

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"sortlast/internal/autotune"
+	"sortlast/internal/faultinject"
 	"sortlast/internal/frame"
 	"sortlast/internal/harness"
 	"sortlast/internal/mp"
@@ -71,6 +72,16 @@ type Config struct {
 	Workers int
 	// RecvTimeout is the rank pool's receive timeout (0: the mp default).
 	RecvTimeout time.Duration
+	// FrameTimeout is the per-frame watchdog deadline: a dispatched frame
+	// that has not replied within it declares the rank world wedged, which
+	// fails every in-flight job with CodeWorldFailed and rebuilds the
+	// world. Default 60s.
+	FrameTimeout time.Duration
+
+	// Chaos, when set, wraps every rank's transport with fault injection
+	// (drops, delays, resets, rank crashes, stalls) for chaos testing;
+	// see internal/faultinject. Nil (the default) injects nothing.
+	Chaos *faultinject.Injector
 
 	// Profile supplies calibrated cost-model constants for Method "auto"
 	// requests (see cmd/calibrate). It must cover the World transport.
@@ -139,9 +150,8 @@ type rendered struct {
 
 // Server is a running renderd instance.
 type Server struct {
-	cfg   Config
-	world resident
-	met   *metrics
+	cfg Config
+	met *metrics
 
 	// sel is the shared autotune selector serving Method "auto"
 	// requests: one per server so EWMA corrections and frame-derived
@@ -152,7 +162,17 @@ type Server struct {
 	tokens chan struct{} // in-flight bound
 	stop   chan struct{}
 
-	renderChs []chan *job
+	// cur is the live world incarnation (nil while the supervisor is
+	// rebuilding after a failure). The supervisor replaces it; Shutdown
+	// takes the final one to drain.
+	curMu sync.Mutex
+	cur   *worldRun
+
+	// degraded is set while the rank world is down and being rebuilt;
+	// /healthz reports 503 until a fresh world is serving again.
+	degraded     atomic.Bool
+	restarts     atomic.Int64
+	lastWorldErr atomic.Pointer[error]
 
 	ln      net.Listener
 	httpLn  net.Listener
@@ -162,11 +182,8 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
-	schedDone chan struct{}
-	pipeWG    sync.WaitGroup // render+composite loops
-	connWG    sync.WaitGroup // connection handlers + accept loop
-
-	poisoned atomic.Pointer[error] // first pipeline error; world is dead
+	supDone chan struct{}  // supervisor exited
+	connWG  sync.WaitGroup // connection handlers + accept loop
 
 	// lastTrace is the most recently completed frame's span recorder,
 	// served by /debug/trace/last.
@@ -174,6 +191,14 @@ type Server struct {
 
 	stopOnce sync.Once
 }
+
+// WorldRestarts reports how many times the resident rank world has been
+// torn down and rebuilt after a failure.
+func (s *Server) WorldRestarts() int64 { return s.restarts.Load() }
+
+// Degraded reports whether the rank world is currently down and being
+// rebuilt (requests queue until it returns).
+func (s *Server) Degraded() bool { return s.degraded.Load() }
 
 // Start builds the resident world, spawns the rank pipelines and begins
 // serving on cfg.Addr (and cfg.HTTPAddr when set).
@@ -194,33 +219,26 @@ func Start(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	world, err := newResident(cfg.World, cfg.P, cfg.WorldAddrs, mp.Options{RecvTimeout: cfg.RecvTimeout})
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
-		sel: autotune.NewSelector(params, transport),
-		cfg:       cfg,
-		world:     world,
-		queue:     make(chan *job, cfg.QueueDepth),
-		tokens:    make(chan struct{}, cfg.MaxInFlight),
-		stop:      make(chan struct{}),
-		conns:     make(map[net.Conn]struct{}),
-		schedDone: make(chan struct{}),
+		sel:     autotune.NewSelector(params, transport),
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		tokens:  make(chan struct{}, cfg.MaxInFlight),
+		stop:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		supDone: make(chan struct{}),
 	}
 	s.met = newMetrics(func() int { return len(s.queue) })
 
-	comms := world.comms()
-	s.renderChs = make([]chan *job, cfg.P)
-	for r := 0; r < cfg.P; r++ {
-		renderCh := make(chan *job, cfg.MaxInFlight)
-		compCh := make(chan rendered, cfg.MaxInFlight)
-		s.renderChs[r] = renderCh
-		s.pipeWG.Add(2)
-		go s.renderLoop(r, renderCh, compCh)
-		go s.compositeLoop(r, comms[r], compCh)
+	// The first world builds synchronously so configuration errors
+	// (unknown world kind, bad address list) fail Start; later failures
+	// are the supervisor's to absorb.
+	run, err := s.newWorldRun()
+	if err != nil {
+		return nil, err
 	}
-	go s.schedule()
+	s.setCur(run)
+	go s.supervise(run)
 
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -260,9 +278,14 @@ func Start(cfg Config) (*Server, error) {
 // teardownEarly unwinds a half-started server (listen failed).
 func (s *Server) teardownEarly() {
 	close(s.stop)
-	<-s.schedDone
-	s.pipeWG.Wait()
-	s.world.forceStop()
+	<-s.supDone
+	if run := s.takeCur(); run != nil {
+		run.res.forceStop()
+		run.pipeWG.Wait()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		run.res.shutdown(ctx)
+	}
 }
 
 // Addr returns the frame-protocol listen address.
@@ -277,8 +300,13 @@ func (s *Server) HTTPAddr() net.Addr {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if err := s.poisonErr(); err != nil {
-		http.Error(w, fmt.Sprintf("pipeline failed: %v", err), http.StatusServiceUnavailable)
+	if s.degraded.Load() {
+		msg := "degraded: rank world down, rebuilding"
+		if p := s.lastWorldErr.Load(); p != nil {
+			msg = fmt.Sprintf("%s: %v", msg, *p)
+		}
+		http.Error(w, fmt.Sprintf("%s (restarts: %d)", msg, s.restarts.Load()),
+			http.StatusServiceUnavailable)
 		return
 	}
 	w.WriteHeader(http.StatusOK)
@@ -314,62 +342,7 @@ func (s *Server) handleTraceLast(w http.ResponseWriter, _ *http.Request) {
 	trace.WritePerfetto(w, rec)
 }
 
-func (s *Server) poison(err error) {
-	e := err
-	s.poisoned.CompareAndSwap(nil, &e)
-	// Fail blocked receives so every rank drains instead of waiting out
-	// its timeout against a dead partner.
-	s.world.forceStop()
-}
-
-func (s *Server) poisonErr() error {
-	if p := s.poisoned.Load(); p != nil {
-		return *p
-	}
-	return nil
-}
-
 // ---- pipeline ----
-
-// schedule moves admitted jobs from the queue into the rank pool,
-// bounded by the in-flight tokens. It owns deadline cancellation for
-// queued jobs: a job whose deadline passed while waiting is answered
-// without touching the world.
-func (s *Server) schedule() {
-	defer close(s.schedDone)
-	for {
-		select {
-		case <-s.stop:
-			s.failQueued()
-			for _, ch := range s.renderChs {
-				close(ch)
-			}
-			return
-		case j := <-s.queue:
-			if time.Now().After(j.deadline) {
-				s.met.requestFailed(CodeDeadline)
-				j.finish(reply{code: CodeDeadline, err: errors.New("deadline expired while queued")})
-				continue
-			}
-			select {
-			case s.tokens <- struct{}{}:
-			case <-s.stop:
-				j.finish(reply{code: CodeShutdown, err: errors.New("server shutting down")})
-				s.met.requestFailed(CodeShutdown)
-				s.failQueued()
-				for _, ch := range s.renderChs {
-					close(ch)
-				}
-				return
-			}
-			s.met.inflight.Add(1)
-			j.dispatched = time.Now()
-			for _, ch := range s.renderChs {
-				ch <- j // never blocks: token bound ≥ channel backlog
-			}
-		}
-	}
-}
 
 func (s *Server) failQueued() {
 	for {
@@ -383,8 +356,8 @@ func (s *Server) failQueued() {
 	}
 }
 
-func (s *Server) renderLoop(me int, in <-chan *job, out chan<- rendered) {
-	defer s.pipeWG.Done()
+func (s *Server) renderLoop(me int, run *worldRun, in <-chan *job, out chan<- rendered) {
+	defer run.pipeWG.Done()
 	defer close(out)
 	for j := range in {
 		start := time.Now()
@@ -396,8 +369,8 @@ func (s *Server) renderLoop(me int, in <-chan *job, out chan<- rendered) {
 	}
 }
 
-func (s *Server) compositeLoop(me int, c mp.Comm, in <-chan rendered) {
-	defer s.pipeWG.Done()
+func (s *Server) compositeLoop(me int, run *worldRun, c mp.Comm, in <-chan rendered) {
+	defer run.pipeWG.Done()
 	for rj := range in {
 		j := rj.job
 		var img *frame.Image
@@ -421,37 +394,43 @@ func (s *Server) compositeLoop(me int, c mp.Comm, in <-chan rendered) {
 		j.wireBytes.Add(recv)
 
 		if err != nil {
-			s.poison(fmt.Errorf("rank %d: %w", me, err))
+			// Any pipeline error kills this world incarnation: half a
+			// binary swap cannot be resumed, so the supervisor tears the
+			// world down and rebuilds it. The job is answered with the
+			// retryable code; teardown answers the other in-flight jobs.
+			run.fail(s, fmt.Errorf("rank %d: %w", me, err))
+			if me == 0 && run.untrack(j) {
+				<-s.tokens
+				s.met.inflight.Add(-1)
+				s.met.requestFailed(CodeWorldFailed)
+				j.finish(reply{code: CodeWorldFailed, err: fmt.Errorf("rank world failed: %w", err)})
+			}
+			return
 		}
-		if me == 0 {
+		if me == 0 && run.untrack(j) {
 			<-s.tokens
 			s.met.inflight.Add(-1)
-			if err != nil {
-				s.met.requestFailed(CodeInternal)
-				j.finish(reply{code: CodeInternal, err: err})
-			} else {
+			if j.rec != nil {
+				s.met.phaseDone("render", j.rec.MaxTotal(trace.SpanRender))
+				s.met.phaseDone("composite", j.rec.MaxTotal(trace.SpanCompositing))
+				s.met.phaseDone("gather", j.rec.MaxTotal(trace.SpanGather))
+				s.lastTrace.Store(j.rec)
+			}
+			j.finish(reply{img: img})
+			if j.plan.Choice != nil {
+				// Feedback after the reply is on its way, so it never
+				// adds to request latency: the measured composite wall
+				// (slowest rank when traced, rank 0 otherwise — binary
+				// swap synchronizes, so rank 0's wall includes waits)
+				// corrects the chosen method's EWMA factor, and the
+				// gathered frame's exact sparsity becomes the feature
+				// vector the next "auto" request predicts from.
+				measured := compositeWall
 				if j.rec != nil {
-					s.met.phaseDone("render", j.rec.MaxTotal(trace.SpanRender))
-					s.met.phaseDone("composite", j.rec.MaxTotal(trace.SpanCompositing))
-					s.met.phaseDone("gather", j.rec.MaxTotal(trace.SpanGather))
-					s.lastTrace.Store(j.rec)
+					measured = j.rec.MaxTotal(trace.SpanCompositing)
 				}
-				j.finish(reply{img: img})
-				if j.plan.Choice != nil {
-					// Feedback after the reply is on its way, so it never
-					// adds to request latency: the measured composite wall
-					// (slowest rank when traced, rank 0 otherwise — binary
-					// swap synchronizes, so rank 0's wall includes waits)
-					// corrects the chosen method's EWMA factor, and the
-					// gathered frame's exact sparsity becomes the feature
-					// vector the next "auto" request predicts from.
-					measured := compositeWall
-					if j.rec != nil {
-						measured = j.rec.MaxTotal(trace.SpanCompositing)
-					}
-					j.plan.Selector.Observe(j.plan.Choice.Method, j.plan.Choice.Features, measured)
-					j.plan.Selector.Seed(autotune.ScanFeatures(img, j.plan.Cfg.P))
-				}
+				j.plan.Selector.Observe(j.plan.Choice.Method, j.plan.Choice.Features, measured)
+				j.plan.Selector.Seed(autotune.ScanFeatures(img, j.plan.Cfg.P))
 			}
 		}
 	}
@@ -460,12 +439,11 @@ func (s *Server) compositeLoop(me int, c mp.Comm, in <-chan rendered) {
 // ---- admission and connections ----
 
 // submit validates, admits and waits for one request; it always returns
-// a response (the typed-error path never hangs the caller).
+// a response (the typed-error path never hangs the caller). A degraded
+// server (rank world down, rebuilding) still admits: the job waits in
+// the queue until the supervisor brings a fresh world up, bounded by the
+// queue depth and the request deadline.
 func (s *Server) submit(req Request) (*Response, *frame.Image) {
-	if err := s.poisonErr(); err != nil {
-		s.met.requestFailed(CodeInternal)
-		return &Response{Code: CodeInternal, Error: fmt.Sprintf("pipeline failed: %v", err)}, nil
-	}
 	if err := ValidateMethod(req.Method); err != nil {
 		s.met.requestFailed(CodeBadRequest)
 		return &Response{Code: CodeBadRequest, Error: err.Error()}, nil
@@ -615,20 +593,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.stop)
 	})
 
-	// Scheduler drains the queue and closes the rank pipelines.
-	<-s.schedDone
+	// The supervisor drains the queue and closes the rank pipelines (or,
+	// if the world was mid-rebuild, exits without one).
+	<-s.supDone
 
 	// Wait for in-flight frames; on timeout, cancel through the world so
-	// blocked receives fail instead of waiting out their timeout.
-	pipeDone := make(chan struct{})
-	go func() { s.pipeWG.Wait(); close(pipeDone) }()
+	// blocked receives fail instead of waiting out their timeout. run is
+	// nil when the server stopped while the world was down.
+	run := s.takeCur()
 	var err error
-	select {
-	case <-pipeDone:
-	case <-ctx.Done():
-		err = ctx.Err()
-		s.world.forceStop()
-		<-pipeDone
+	if run != nil {
+		pipeDone := make(chan struct{})
+		go func() { run.pipeWG.Wait(); close(pipeDone) }()
+		select {
+		case <-pipeDone:
+		case <-ctx.Done():
+			err = ctx.Err()
+			run.res.forceStop()
+			<-pipeDone
+		}
+		// Frames cancelled mid-flight by the forced stop were untracked
+		// by their composite loop's error path; any job still tracked
+		// (e.g. never picked up) is answered here so no handler hangs.
+		for _, j := range run.takeInflight() {
+			<-s.tokens
+			s.met.inflight.Add(-1)
+			s.met.requestFailed(CodeShutdown)
+			j.finish(reply{code: CodeShutdown, err: errors.New("server shutting down")})
+		}
 	}
 
 	// Unblock idle connection readers, then wait for handlers to finish
@@ -654,8 +646,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-connDone
 	}
 
-	if werr := s.world.shutdown(ctx); werr != nil && err == nil {
-		err = werr
+	if run != nil {
+		if werr := run.res.shutdown(ctx); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	if s.httpSrv != nil {
 		if herr := s.httpSrv.Shutdown(ctx); herr != nil && err == nil {

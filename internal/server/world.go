@@ -7,32 +7,38 @@ import (
 	"sync"
 	"time"
 
+	"sortlast/internal/faultinject"
 	"sortlast/internal/mp"
 	"sortlast/internal/mpnet"
 )
 
-// resident is the standing rank pool the server owns for its lifetime:
-// one Comm endpoint per rank (each used by exactly one composite-stage
-// goroutine), a graceful quiesce-then-close teardown, and a force stop
-// that fails blocked receives when teardown must not wait.
+// resident is the standing rank pool the server owns for the lifetime of
+// one world incarnation: one Comm endpoint per rank (each used by
+// exactly one composite-stage goroutine), a graceful quiesce-then-close
+// teardown, and a force stop that fails blocked receives when teardown
+// must not wait. The supervisor builds a fresh resident after a failure.
 type resident interface {
 	comms() []mp.Comm
 	// shutdown quiesces and tears the world down; bounded by ctx.
 	shutdown(ctx context.Context) error
-	// forceStop fails all blocked receives immediately. Used when the
-	// pipeline must be cancelled without waiting for quiescence.
+	// forceStop fails all blocked receives immediately (and releases any
+	// injected stalls). Used when the pipeline must be cancelled without
+	// waiting for quiescence.
 	forceStop()
 }
 
 // newResident builds the rank pool named by kind: "mp" (in-process
 // goroutine world) or "mpnet" (TCP world; every rank a node over real
 // sockets, on addrs or loopback ephemeral ports when addrs is empty).
-func newResident(kind string, p int, addrs []string, opts mp.Options) (resident, error) {
+// A non-nil injector wraps every rank's transport with fault injection;
+// each call starts a fresh injector incarnation, so faults armed against
+// a previous world do not carry over to its replacement.
+func newResident(kind string, p int, addrs []string, opts mp.Options, inj *faultinject.Injector) (resident, error) {
 	switch kind {
 	case "", "mp":
-		return newProcResident(p, opts)
+		return newProcResident(p, opts, inj)
 	case "mpnet":
-		return newNetResident(p, addrs, opts)
+		return newNetResident(p, addrs, opts, inj)
 	default:
 		return nil, fmt.Errorf("server: unknown world kind %q (want mp or mpnet)", kind)
 	}
@@ -40,28 +46,41 @@ func newResident(kind string, p int, addrs []string, opts mp.Options) (resident,
 
 // procResident is the in-process world.
 type procResident struct {
-	w  *mp.World
-	cs []mp.Comm
+	w   *mp.World
+	cs  []mp.Comm
+	inj *faultinject.Injector
 }
 
-func newProcResident(p int, opts mp.Options) (*procResident, error) {
+func newProcResident(p int, opts mp.Options, inj *faultinject.Injector) (*procResident, error) {
 	w, err := mp.NewWorld(p, opts)
 	if err != nil {
 		return nil, err
 	}
+	trs := make([]mp.Transport, p)
+	for r := range trs {
+		trs[r] = w.Transport(r)
+	}
+	if inj != nil {
+		trs = inj.WrapWorld(trs)
+	}
 	cs := make([]mp.Comm, p)
 	for r := range cs {
-		if cs[r], err = w.Comm(r); err != nil {
+		if cs[r], err = mp.FromTransport(r, p, trs[r], opts); err != nil {
 			return nil, err
 		}
 	}
-	return &procResident{w: w, cs: cs}, nil
+	return &procResident{w: w, cs: cs, inj: inj}, nil
 }
 
 func (p *procResident) comms() []mp.Comm { return p.cs }
-func (p *procResident) forceStop()       { p.w.Shutdown() }
-func (p *procResident) shutdown(context.Context) error {
+func (p *procResident) forceStop() {
 	p.w.Shutdown()
+	if p.inj != nil {
+		p.inj.EndWorld() // release injected stalls so teardown never sleeps them out
+	}
+}
+func (p *procResident) shutdown(context.Context) error {
+	p.forceStop()
 	return nil
 }
 
@@ -71,9 +90,10 @@ func (p *procResident) shutdown(context.Context) error {
 type netResident struct {
 	nodes []*mpnet.Node
 	cs    []mp.Comm
+	inj   *faultinject.Injector
 }
 
-func newNetResident(p int, addrs []string, opts mp.Options) (*netResident, error) {
+func newNetResident(p int, addrs []string, opts mp.Options, inj *faultinject.Injector) (*netResident, error) {
 	if len(addrs) == 0 {
 		addrs = make([]string, p)
 		for i := range addrs {
@@ -98,6 +118,9 @@ func newNetResident(p int, addrs []string, opts mp.Options) (*netResident, error
 		listeners[i] = ln
 		real[i] = ln.Addr().String()
 	}
+	if inj != nil {
+		inj.BeginWorld()
+	}
 	nodes := make([]*mpnet.Node, p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
@@ -105,10 +128,15 @@ func newNetResident(p int, addrs []string, opts mp.Options) (*netResident, error
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			var wrap func(mp.Transport) mp.Transport
+			if inj != nil {
+				wrap = func(tr mp.Transport) mp.Transport { return inj.Wrap(r, tr) }
+			}
 			nodes[r], errs[r] = mpnet.Connect(mpnet.Config{
 				Rank: r, Addrs: real, Listener: listeners[r],
-				DialTimeout: 30 * time.Second,
-				Opts:        opts,
+				DialTimeout:   30 * time.Second,
+				WrapTransport: wrap,
+				Opts:          opts,
 			})
 		}(r)
 	}
@@ -127,7 +155,7 @@ func newNetResident(p int, addrs []string, opts mp.Options) (*netResident, error
 	for r, n := range nodes {
 		cs[r] = n.Comm()
 	}
-	return &netResident{nodes: nodes, cs: cs}, nil
+	return &netResident{nodes: nodes, cs: cs, inj: inj}, nil
 }
 
 func (n *netResident) comms() []mp.Comm { return n.cs }
@@ -136,9 +164,15 @@ func (n *netResident) forceStop() {
 	for _, node := range n.nodes {
 		node.Close()
 	}
+	if n.inj != nil {
+		n.inj.EndWorld()
+	}
 }
 
 func (n *netResident) shutdown(ctx context.Context) error {
+	if n.inj != nil {
+		n.inj.EndWorld()
+	}
 	// Every node barriers, so the quiesce completes exactly when all
 	// ranks are idle; a wedged rank trips the ctx deadline and the
 	// remaining nodes close anyway.
