@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench bench-json bench-autotune
+.PHONY: check vet build test race chaos bench bench-json bench-autotune bench-render
 
 # check is the pre-commit gate: static analysis, a full build, the full
 # test suite, and the race detector over the packages that run
@@ -39,6 +39,14 @@ bench:
 bench-json:
 	@$(GO) run ./cmd/servebench -out BENCH_serve.json || \
 		{ echo "bench-json: FAILED -- servebench could not start or drive renderd (see error above); BENCH_serve.json not updated" >&2; exit 1; }
+
+# bench-render measures the ray-cast kernel against the
+# pre-acceleration reference (ns/ray, speedup, macro-cell skip fraction)
+# and writes BENCH_render.json. The run itself verifies byte-identity,
+# so a kernel regression fails loudly here too.
+bench-render:
+	@$(GO) run ./cmd/renderbench -out BENCH_render.json || \
+		{ echo "bench-render: FAILED -- renderbench did not complete or the kernels diverged (see error above); BENCH_render.json not updated" >&2; exit 1; }
 
 # bench-autotune compares Method auto against every fixed compositing
 # method over a mixed dense->sparse animation (quick-calibrating the

@@ -1,0 +1,150 @@
+// Command renderbench measures the ray-cast kernel in isolation: for
+// each scenario (dense, sparse, shaded, plus the paper's cube workload)
+// it times the accelerated kernel against the pre-acceleration
+// reference, verifies the outputs are byte-identical, and reports
+// ns/ray, speedup and the macro-cell skip fraction.
+//
+//	go run ./cmd/renderbench -out BENCH_render.json
+//
+// A mismatch between the kernels is a hard failure (exit 1): the
+// benchmark doubles as the identity check on real frame sizes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/harness"
+	"sortlast/internal/render"
+)
+
+var (
+	size  = flag.Int("size", 256, "image size (square)")
+	iters = flag.Int("iters", 8, "timed accelerated-kernel iterations per scenario")
+	quick = flag.Bool("quick", false, "1 iteration at a small size (CI smoke)")
+	out   = flag.String("out", "BENCH_render.json", "output path (- for stdout)")
+)
+
+// record is one scenario's result.
+type record struct {
+	Scenario    string  `json:"scenario"`
+	Dataset     string  `json:"dataset"`
+	Size        int     `json:"size"`
+	Shaded      bool    `json:"shaded,omitempty"`
+	Rays        int64   `json:"rays"`
+	NSPerRay    float64 `json:"ns_per_ray"`
+	NSPerRayRef float64 `json:"ns_per_ray_reference"`
+	Speedup     float64 `json:"speedup"`
+	SkipFrac    float64 `json:"skip_fraction"`
+	Identical   bool    `json:"identical"`
+}
+
+type scenario struct {
+	name    string
+	dataset string
+	shaded  bool
+}
+
+var scenarios = []scenario{
+	{"dense", "engine_low", false},
+	{"sparse", "engine_high", false},
+	{"shaded", "head", true},
+	{"cube", "cube", false},
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "renderbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sz, n := *size, *iters
+	if *quick {
+		sz, n = 96, 1
+	}
+	var records []record
+	for _, sc := range scenarios {
+		rec, err := runScenario(sc, sz, n)
+		if err != nil {
+			return err
+		}
+		if !rec.Identical {
+			return fmt.Errorf("%s: accelerated kernel output differs from reference", sc.name)
+		}
+		fmt.Fprintf(os.Stderr, "renderbench: %-7s %-11s %5.0f ns/ray (reference %5.0f), %.2fx, skip %.0f%%\n",
+			sc.name, sc.dataset, rec.NSPerRay, rec.NSPerRayRef, rec.Speedup, rec.SkipFrac*100)
+		records = append(records, rec)
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func runScenario(sc scenario, sz, n int) (record, error) {
+	vol, tf, err := harness.Dataset(sc.dataset)
+	if err != nil {
+		return record{}, err
+	}
+	cam := render.NewCamera(sz, sz, vol.Bounds(), 20, 30)
+	opt := render.Options{Shaded: sc.shaded, Workers: 1}
+	rec := record{Scenario: sc.name, Dataset: sc.dataset, Size: sz, Shaded: sc.shaded}
+
+	vol.MacroCells() // once per dataset in production; keep it out of the timing
+	var rs render.Stats
+	statOpt := opt
+	statOpt.Stats = &rs
+	accel := render.Raycast(vol, vol.Bounds(), cam, tf, statOpt)
+	snap := rs.Snapshot()
+	rec.Rays = snap.Rays
+	rec.SkipFrac = snap.SkipFraction()
+	if rec.Rays == 0 {
+		return rec, fmt.Errorf("%s: no rays intersected the volume", sc.name)
+	}
+
+	refStart := time.Now()
+	ref := render.RaycastReference(vol, vol.Bounds(), cam, tf, opt)
+	refWall := time.Since(refStart)
+	rec.Identical = identical(accel, ref)
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		render.Raycast(vol, vol.Bounds(), cam, tf, opt)
+	}
+	wall := time.Since(start) / time.Duration(n)
+	rec.NSPerRay = float64(wall.Nanoseconds()) / float64(rec.Rays)
+	rec.NSPerRayRef = float64(refWall.Nanoseconds()) / float64(rec.Rays)
+	if wall > 0 {
+		rec.Speedup = float64(refWall) / float64(wall)
+	}
+	return rec, nil
+}
+
+// identical compares the two renderings bit for bit over the full frame.
+func identical(a, b *frame.Image) bool {
+	if a.Bounds() != b.Bounds() {
+		return false
+	}
+	full := a.Full()
+	for y := full.Y0; y < full.Y1; y++ {
+		for x := full.X0; x < full.X1; x++ {
+			if a.At(x, y) != b.At(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}

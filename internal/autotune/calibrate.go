@@ -10,7 +10,10 @@ import (
 	"sortlast/internal/frame"
 	"sortlast/internal/mp"
 	"sortlast/internal/mpnet"
+	"sortlast/internal/render"
 	"sortlast/internal/rle"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
 )
 
 // CalibrateOptions configure a calibration run.
@@ -62,6 +65,7 @@ func Calibrate(opts CalibrateOptions) (*Profile, error) {
 		Host:       CurrentHost(),
 		Quick:      opts.Quick,
 		Transports: make(map[string]costmodel.Params, 2),
+		Render:     &RenderCal{TrSample: measureTr(opts)},
 	}
 	for _, tr := range opts.transports() {
 		ts, tc, err := measureTransport(tr, opts)
@@ -163,6 +167,26 @@ func measureTbound(opts CalibrateOptions) time.Duration {
 		pixels += scanned
 	}
 	return perUnit(time.Since(start), pixels)
+}
+
+// measureTr times the ray caster per *evaluated* sample over a
+// representative dense-ish workload, through the production kernel —
+// macro-cell skipping, precomputed tables and all — so the constant
+// reflects what a sample actually costs after acceleration. The
+// evaluated-sample count comes from the kernel's own counters, so
+// skipped samples do not dilute the estimate.
+func measureTr(opts CalibrateOptions) time.Duration {
+	vol := volume.EngineBlock(64, 64, 28)
+	tf := transfer.EngineLow()
+	cam := render.NewCamera(96, 96, vol.Bounds(), 20, 30)
+	vol.MacroCells() // the grid build is amortized per dataset, not per sample
+	var rs render.Stats
+	floor := opts.computeFloor()
+	start := time.Now()
+	for time.Since(start) < floor {
+		render.Raycast(vol, vol.Bounds(), cam, tf, render.Options{Workers: 1, Stats: &rs})
+	}
+	return perUnit(time.Since(start), int(rs.Snapshot().Samples))
 }
 
 // Ping-pong message sizes for the two-point linear fit

@@ -28,6 +28,14 @@ type Features struct {
 	// Runs is the average number of non-blank runs per full-frame
 	// scanline — what run-length codes cost (R_code ≈ 2·Runs·Height).
 	Runs float64 `json:"runs"`
+
+	// Skip is the renderer-side sparsity: the fraction of candidate ray
+	// samples macro-cell empty-space skipping removed. The compositing
+	// cost model (Eq. 1–8) does not consume it — it rides along so the
+	// selector's observers and reports can correlate render-side
+	// sparsity with the frame sparsity Alpha/Beta capture. Zero when
+	// unobserved.
+	Skip float64 `json:"skip,omitempty"`
 }
 
 // WithTarget returns f rescaled to a target frame geometry: the
@@ -101,8 +109,13 @@ const prescanSize = 96
 // the real frame.
 func Prescan(vol *volume.Volume, tf *transfer.Func, width, height, p int, rotX, rotY float64) Features {
 	cam := render.NewCamera(prescanSize, prescanSize, vol.Bounds(), rotX, rotY)
-	img := render.Raycast(vol, vol.Bounds(), cam, tf, render.Options{Workers: 1})
+	// The probe renders through the production kernel (macro-cell
+	// skipping included), so its skip counters measure exactly what the
+	// real frame will see.
+	var rs render.Stats
+	img := render.Raycast(vol, vol.Bounds(), cam, tf, render.Options{Workers: 1, Stats: &rs})
 	f := ScanFeatures(img, p)
+	f.Skip = clamp01(rs.Snapshot().SkipFraction())
 	// Runs per scanline grows with horizontal resolution for dithered
 	// content but is flat for the smooth opacity fields volumes produce;
 	// keep the probe's per-line count and let EWMA absorb the residual.
@@ -121,6 +134,7 @@ func StatsFeatures(prev Features, width, height, p int, method string, ranks []*
 		return f
 	}
 	var recv, composited, codes int
+	var evaluated, skipped int
 	for _, r := range ranks {
 		if r == nil {
 			continue
@@ -128,12 +142,20 @@ func StatsFeatures(prev Features, width, height, p int, method string, ranks []*
 		recv += r.Fold.RecvPixels
 		composited += r.Fold.Composited
 		codes += r.Fold.Codes
+		evaluated += r.Render.Samples
+		skipped += r.Render.SamplesSkipped
 		for i := range r.Stages {
 			s := &r.Stages[i]
 			recv += s.RecvPixels
 			composited += s.Composited
 			codes += s.Codes
 		}
+	}
+	// The renderer's skip fraction is method-independent: observable
+	// whenever the frame carried render counters, even if compositing
+	// delivered nothing.
+	if evaluated+skipped > 0 {
+		f.Skip = clamp01(float64(skipped) / float64(evaluated+skipped))
 	}
 	if recv == 0 {
 		return f

@@ -76,6 +76,20 @@ type Profile struct {
 	Quick bool `json:"quick,omitempty"`
 
 	Transports map[string]costmodel.Params `json:"transports"`
+
+	// Render holds renderer-side calibration, measured against the
+	// accelerated ray-cast kernel. Optional: profiles written before the
+	// kernel existed load fine without it.
+	Render *RenderCal `json:"render,omitempty"`
+}
+
+// RenderCal is the renderer-side counterpart of the compositing
+// constants: the cost of one *evaluated* ray sample through the
+// accelerated kernel (T_r per sample). Samples removed by macro-cell
+// skipping cost ~nothing, so modeled render time is
+// Samples·(1−Skip)·TrSample over the candidate-sample count.
+type RenderCal struct {
+	TrSample time.Duration `json:"tr_sample_ns"`
 }
 
 // Validate checks the schema version and that every transport's
@@ -91,6 +105,9 @@ func (p *Profile) Validate() error {
 		if err := params.Validate(); err != nil {
 			return fmt.Errorf("autotune: transport %q: %w", name, err)
 		}
+	}
+	if p.Render != nil && p.Render.TrSample <= 0 {
+		return fmt.Errorf("autotune: render calibration has non-positive T_r %v", p.Render.TrSample)
 	}
 	return nil
 }

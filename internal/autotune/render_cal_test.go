@@ -1,0 +1,132 @@
+package autotune
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sortlast/internal/stats"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+// TestCalibrateRender checks that calibration measures the accelerated
+// kernel's per-sample constant and that the result survives an
+// encode/decode round trip.
+func TestCalibrateRender(t *testing.T) {
+	prof, err := Calibrate(CalibrateOptions{Quick: true, Transports: []string{TransportMP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Render == nil {
+		t.Fatal("calibrated profile has no render section")
+	}
+	if prof.Render.TrSample <= 0 {
+		t.Fatalf("TrSample = %v, want > 0", prof.Render.TrSample)
+	}
+	if prof.Render.TrSample > time.Millisecond {
+		t.Fatalf("TrSample = %v, implausibly slow for one sample", prof.Render.TrSample)
+	}
+
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := prof.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render == nil || got.Render.TrSample != prof.Render.TrSample {
+		t.Fatalf("round trip lost render calibration: %+v, want %+v", got.Render, prof.Render)
+	}
+}
+
+// TestProfileRenderValidation: a render section with a non-positive
+// constant must fail validation; an absent section (pre-acceleration
+// profiles) must not.
+func TestProfileRenderValidation(t *testing.T) {
+	prof := DefaultProfile()
+	if prof.Render != nil {
+		t.Fatalf("DefaultProfile unexpectedly carries render calibration")
+	}
+	if err := prof.Validate(); err != nil {
+		t.Fatalf("profile without render section: %v", err)
+	}
+	prof.Render = &RenderCal{TrSample: 0}
+	err := prof.Validate()
+	if err == nil || !strings.Contains(err.Error(), "render") {
+		t.Fatalf("zero TrSample validated: err = %v", err)
+	}
+	prof.Render = &RenderCal{TrSample: 40 * time.Nanosecond}
+	if err := prof.Validate(); err != nil {
+		t.Fatalf("positive TrSample rejected: %v", err)
+	}
+}
+
+// TestPrescanSkipFeature: the probe frame must report high macro-cell
+// skipping for the mostly-empty cube dataset and much lower skipping
+// for a volume that is non-transparent everywhere.
+func TestPrescanSkipFeature(t *testing.T) {
+	sparse := Prescan(volume.SolidCube(64, 64, 64), transfer.Cube(), 256, 256, 4, 20, 30)
+	if sparse.Skip < 0.5 {
+		t.Errorf("cube prescan Skip = %.2f, want > 0.5", sparse.Skip)
+	}
+	dense := Prescan(volume.Ramp(64, 64, 64, 0), transfer.Ramp("dense", 0, 1, 0.5), 256, 256, 4, 20, 30)
+	if dense.Skip > 0.2 {
+		t.Errorf("dense prescan Skip = %.2f, want < 0.2", dense.Skip)
+	}
+	if sparse.Skip <= dense.Skip {
+		t.Errorf("sparse Skip %.2f not above dense Skip %.2f", sparse.Skip, dense.Skip)
+	}
+}
+
+// TestStatsFeaturesSkip: the per-rank render counters aggregate into the
+// Skip feature, independent of what compositing delivered.
+func TestStatsFeaturesSkip(t *testing.T) {
+	ranks := []*stats.Rank{
+		{Render: stats.Render{Samples: 100, SamplesSkipped: 300}},
+		{Render: stats.Render{Samples: 100, SamplesSkipped: 100}},
+		nil,
+	}
+	f := StatsFeatures(Features{}, 256, 256, 2, "bs", ranks)
+	if want := 400.0 / 600.0; f.Skip != want {
+		t.Errorf("Skip = %v, want %v", f.Skip, want)
+	}
+	// No render counters at all: Skip carries over from prev unchanged.
+	f = StatsFeatures(Features{Skip: 0.42}, 256, 256, 2, "bs", []*stats.Rank{{}})
+	if f.Skip != 0.42 {
+		t.Errorf("Skip = %v, want carried-over 0.42", f.Skip)
+	}
+}
+
+// TestCalibratedSelectorSanity: a selector running on freshly measured
+// host constants must still order the methods sanely — a fully dense
+// frame never pays for encoding, a sparse frame never ships dense
+// halves.
+func TestCalibratedSelectorSanity(t *testing.T) {
+	prof, err := Calibrate(CalibrateOptions{Quick: true, Transports: []string{TransportMP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := prof.Params(TransportMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := NewSelector(params, TransportMP)
+
+	dense, err := sel.Choose(Features{Width: 384, Height: 384, P: 8, Alpha: 1, Beta: 1, Runs: 1, Skip: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Method == "bslc" || dense.Method == "bsbrc" || dense.Method == "bsbrlc" {
+		t.Errorf("dense frame chose encoding method %q (ranking %+v)", dense.Method, dense.Predictions)
+	}
+	sparse, err := sel.Choose(Features{Width: 384, Height: 384, P: 8, Alpha: 0.03, Beta: 0.15, Runs: 2, Skip: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Method == "bs" {
+		t.Errorf("sparse frame chose dense binary swap (ranking %+v)", sparse.Predictions)
+	}
+}

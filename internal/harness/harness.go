@@ -123,6 +123,11 @@ type Row struct {
 	MeasuredCompMS float64 // measured compositing compute, max over ranks
 	RenderMS       float64 // measured rendering wall, max over ranks
 
+	// RenderSkipFrac is the fraction of candidate ray samples the
+	// macro-cell empty-space skipping removed, aggregated over ranks
+	// (0 for surface runs).
+	RenderSkipFrac float64
+
 	MMax       int // maximum received message size (bytes)
 	EmptyRects int // empty receiving bounding rectangles, all ranks
 	NonBlank   int // non-blank pixels in the final image
@@ -287,6 +292,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 	}
 
 	rankStats := make([]*stats.Rank, cfg.P)
+	renderStats := make([]render.Stats, cfg.P)
 	renderWall := make([]time.Duration, cfg.P)
 	compositeWall := make([]time.Duration, cfg.P)
 	var final *frame.Image
@@ -306,7 +312,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 		}
 
 		start := time.Now()
-		img := plan.renderFrom(src, me, c.Tracer())
+		img := plan.renderFrom(src, me, c.Tracer(), &renderStats[me])
 		renderWall[me] = time.Since(start)
 
 		var pristine *frame.Image
@@ -360,10 +366,17 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 		MakespanMS:     ms(makespan),
 		MMax:           stats.MaxMessageBytes(rankStats),
 	}
-	for _, r := range rankStats {
+	var skipNum, skipDen int
+	for me, r := range rankStats {
 		if r != nil {
 			row.EmptyRects += r.EmptyRecvRects()
+			r.Render = renderCounters(renderStats[me].Snapshot())
+			skipNum += r.Render.SamplesSkipped
+			skipDen += r.Render.Samples + r.Render.SamplesSkipped
 		}
+	}
+	if skipDen > 0 {
+		row.RenderSkipFrac = float64(skipNum) / float64(skipDen)
 	}
 	var maxRender, maxComposite time.Duration
 	for _, d := range renderWall {
@@ -469,6 +482,18 @@ func distribute(c mp.Comm, vol *volume.Volume, boxOf func(int) volume.Box,
 }
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// renderCounters converts the ray caster's snapshot into the stats
+// package's plain-int form carried on stats.Rank.
+func renderCounters(s render.StatsSnapshot) stats.Render {
+	return stats.Render{
+		Rays:           int(s.Rays),
+		Samples:        int(s.Samples),
+		SamplesSkipped: int(s.SamplesSkipped),
+		CellsVisited:   int(s.CellsVisited),
+		CellsSkipped:   int(s.CellsSkipped),
+	}
+}
 
 // PowersOfTwo returns {2, 4, ..., max} — the paper's processor-count
 // sweep.

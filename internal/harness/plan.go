@@ -76,6 +76,13 @@ func NewPlan(cfg Config) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.Surface {
+		// Warm the volume's macro-cell grid during setup so the rank
+		// goroutines never serialize on its sync.Once inside the first
+		// frame (the grid is cached on the volume, shared across plans
+		// through the dataset cache).
+		vol.MacroCells()
+	}
 	return &Plan{
 		Cfg: cfg, Vol: vol, TF: tf,
 		Comp: comp, Dec: dec,
@@ -107,22 +114,29 @@ func (p *Plan) Box(me int) volume.Box { return p.boxOf(me) }
 // volume and returns its subimage. Callers that distributed subvolumes
 // through the message layer use RenderRankFrom instead.
 func (p *Plan) RenderRank(me int) *frame.Image {
-	return p.renderFrom(p.Vol, me, nil)
+	return p.renderFrom(p.Vol, me, nil, nil)
 }
 
 // RenderRankTraced is RenderRank recording a "render" span (with a
 // nested "raycast" span on the volume path) on the rank's track.
 func (p *Plan) RenderRankTraced(me int, tr *trace.Rank) *frame.Image {
-	return p.renderFrom(p.Vol, me, tr)
+	return p.renderFrom(p.Vol, me, tr, nil)
+}
+
+// RenderRankObserved is RenderRankTraced additionally accumulating the
+// ray caster's work counters (rays, samples, macro-cell skips) into rs.
+// rs may be shared across ranks and frames; nil collects nothing.
+func (p *Plan) RenderRankObserved(me int, tr *trace.Rank, rs *render.Stats) *frame.Image {
+	return p.renderFrom(p.Vol, me, tr, rs)
 }
 
 // RenderRankFrom renders rank me's subimage from src, which must cover
 // the rank's box (plus ghost cells when shading).
 func (p *Plan) RenderRankFrom(src volumeSource, me int) *frame.Image {
-	return p.renderFrom(src, me, nil)
+	return p.renderFrom(src, me, nil, nil)
 }
 
-func (p *Plan) renderFrom(src volumeSource, me int, tr *trace.Rank) *frame.Image {
+func (p *Plan) renderFrom(src volumeSource, me int, tr *trace.Rank, rs *render.Stats) *frame.Image {
 	m := tr.Begin()
 	defer tr.End(m, trace.SpanRender, "")
 	box := p.boxOf(me)
@@ -136,6 +150,7 @@ func (p *Plan) renderFrom(src volumeSource, me int, tr *trace.Rank) *frame.Image
 	}
 	opts := p.Cfg.RenderOpts
 	opts.Trace = tr
+	opts.Stats = rs
 	return render.Raycast(src, box, p.Cam, p.TF, opts)
 }
 

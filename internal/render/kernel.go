@@ -1,0 +1,467 @@
+package render
+
+import (
+	"math"
+
+	"sortlast/internal/frame"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+// skipSafety is the margin, in world units (voxels), by which a sample
+// must clear a macro-cell boundary before the cell's classification may
+// skip it. Samples inside the margin are evaluated normally —
+// evaluating extra samples is always sound, only skipping needs proof —
+// so the margin only has to dominate the ~1e-9 accumulated float error
+// of the DDA's boundary parameters, which a quarter voxel does with
+// eight orders of magnitude to spare.
+const skipSafety = 0.25
+
+// kernel is one Raycast invocation's precomputed state: transfer tables
+// and their derived skip/correction tables, the concrete-type sampling
+// fast path, and the volume's macro-cell grid. Building it costs
+// microseconds (plus the once-per-volume grid build, amortized by the
+// cache on the volume) and removes the reference kernel's per-sample
+// math.Pow, interface dispatch and box.Contains. Every shortcut is
+// bit-exact — the identity argument lives in DESIGN.md §11 and is
+// enforced against RaycastReference by tests and cmd/renderbench.
+type kernel struct {
+	box volume.Box
+	cam *Camera
+	s   Sampler
+	tf  *transfer.Func
+
+	dt      float64
+	dtIsOne bool
+	cutoff  float64
+	shaded  bool
+	light   [3]float64
+	ambient float64
+
+	// Concrete fast path; vol == nil falls back to the Sampler interface.
+	vol        *volume.Volume
+	data       []uint8
+	nx, ny, nz int
+	sub        bool       // s is a *volume.Subvolume
+	subLo      [3]float64 // float64(Subvolume.Box.Lo[a])
+	subGhost   float64    // float64(Subvolume.Ghost)
+
+	grid    *volume.MacroGrid
+	gridOrg [3]float64 // world position of the backing grid's voxel (0,0,0)
+
+	opac, inten *[256]float64
+	corr        [256]float64 // 1 − (1−Opacity[j])^dt; exact where the table is flat
+	flat        [256]bool    // Opacity[j] == Opacity[j+1]
+	nzBelow     [257]int32   // count of non-zero Opacity entries with index < j
+}
+
+func newKernel(s Sampler, box volume.Box, cam *Camera, tf *transfer.Func, opt Options) *kernel {
+	k := &kernel{
+		box: box, cam: cam, s: s, tf: tf,
+		dt:      opt.step(),
+		cutoff:  opt.cutoff(),
+		shaded:  opt.Shaded,
+		light:   opt.Light,
+		ambient: opt.ambient(),
+		opac:    &tf.Opacity,
+		inten:   &tf.Intensity,
+	}
+	k.dtIsOne = k.dt == 1
+	if k.light == ([3]float64{}) {
+		k.light = [3]float64{-cam.Dir[0], -cam.Dir[1], -cam.Dir[2]}
+	}
+	switch src := s.(type) {
+	case *volume.Volume:
+		k.vol = src
+		k.grid = src.MacroCells()
+		// gridOrg stays (0,0,0): world == voxel coordinates.
+	case *volume.Subvolume:
+		inner, lo, ghost := src.Inner()
+		k.vol = inner
+		k.sub = true
+		k.subLo = [3]float64{float64(lo[0]), float64(lo[1]), float64(lo[2])}
+		k.subGhost = float64(ghost)
+		k.grid = src.MacroCells()
+		k.gridOrg = [3]float64{
+			float64(lo[0] - ghost), float64(lo[1] - ghost), float64(lo[2] - ghost),
+		}
+	}
+	if k.vol != nil {
+		k.data = k.vol.Data
+		k.nx, k.ny, k.nz = k.vol.NX, k.vol.NY, k.vol.NZ
+	}
+	var nz int32
+	for j := 0; j < 256; j++ {
+		k.nzBelow[j] = nz
+		if tf.Opacity[j] != 0 {
+			nz++
+		}
+		if k.dtIsOne {
+			// math.Pow(x, 1) returns x exactly, so the correction
+			// reduces to 1−(1−op) — which is NOT op in floats.
+			k.corr[j] = 1 - (1 - tf.Opacity[j])
+		} else {
+			k.corr[j] = 1 - math.Pow(1-tf.Opacity[j], k.dt)
+		}
+		if j < 255 {
+			k.flat[j] = tf.Opacity[j] == tf.Opacity[j+1]
+		}
+	}
+	k.nzBelow[256] = nz
+	return k
+}
+
+// cellEmpty reports whether every sample inside macro cell (cx, cy, cz)
+// provably classifies to zero opacity. Trilinear values over the cell's
+// support lie in [Min, Max]/255 (the grid expanded the support by one
+// voxel per side); the classification's table index can stray one entry
+// past that range through last-ulp rounding of v*255, so the zero test
+// covers [Min−1, Max+1].
+func (k *kernel) cellEmpty(cx, cy, cz int) bool {
+	mn, mx, ok := k.grid.Range(cx, cy, cz)
+	if !ok {
+		return false // outside the summary: never skip
+	}
+	lo, hi := int(mn)-1, int(mx)+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 255 {
+		hi = 255
+	}
+	return k.nzBelow[hi+1] == k.nzBelow[lo]
+}
+
+// contains tests sample index kk's world position against the box,
+// with arithmetic identical to the reference kernel's.
+func (k *kernel) contains(origin [3]float64, kk int) bool {
+	t := (float64(kk) + 0.5) * k.dt
+	return k.box.Contains(
+		origin[0]+t*k.cam.Dir[0],
+		origin[1]+t*k.cam.Dir[1],
+		origin[2]+t*k.cam.Dir[2])
+}
+
+// castRay casts the ray through pixel (px, py) and returns the
+// accumulated pixel, bit-identical to the reference kernel's.
+func (k *kernel) castRay(px, py int, st *tileStats) frame.Pixel {
+	var acc frame.Pixel
+	origin := k.cam.PlanePoint(px, py)
+	tMin, tMax, ok := k.cam.rayBox(origin, k.box)
+	if !ok {
+		return acc
+	}
+	kLo := int(math.Floor(tMin/k.dt - 0.5))
+	kHi := int(math.Ceil(tMax/k.dt - 0.5))
+
+	// The per-axis sample position origin[a] + t·Dir[a] is monotone in
+	// the sample index (IEEE rounding preserves order, each axis's
+	// direction sign is fixed), so per axis the in-slab indices form an
+	// interval and their three-way intersection — the in-box indices —
+	// is one contiguous interval [kA, kB]. Membership is decided by
+	// scanning in from the ends; the interior never pays the reference
+	// kernel's per-sample box.Contains.
+	kA := kLo
+	for ; kA <= kHi; kA++ {
+		if k.contains(origin, kA) {
+			break
+		}
+	}
+	if kA > kHi {
+		return acc
+	}
+	kB := kHi
+	for ; kB > kA; kB-- {
+		if k.contains(origin, kB) {
+			break
+		}
+	}
+	st.rays++
+
+	if k.grid == nil {
+		k.processRun(origin, kA, kB, &acc, st)
+		return acc
+	}
+	k.traverse(origin, kA, kB, &acc, st)
+	return acc
+}
+
+// traverse walks the macro-cell grid along the ray with a 3D-DDA over
+// the sample interval [kA, kB]. Cells that classify to zero opacity
+// have their interior samples skipped wholesale; samples within
+// skipSafety of a cell boundary, and every sample of a non-empty cell,
+// are evaluated exactly as the reference kernel would. The kNext cursor
+// is monotone, so no sample is evaluated twice.
+func (k *kernel) traverse(origin [3]float64, kA, kB int, acc *frame.Pixel, st *tileStats) {
+	d := k.cam.Dir
+	tA := (float64(kA) + 0.5) * k.dt
+	tB := (float64(kB) + 0.5) * k.dt
+
+	// Cell holding the first sample, and per-axis DDA state: tNext[a]
+	// is the ray parameter of the next cell boundary crossing on axis
+	// a, tDelta[a] the parameter distance between crossings.
+	var c [3]int
+	var tNext, tDelta [3]float64
+	var step [3]int
+	for a := 0; a < 3; a++ {
+		p := origin[a] + tA*d[a]
+		c[a] = int(math.Floor((p - k.gridOrg[a]) / volume.MacroCell))
+		switch {
+		case d[a] > 0:
+			step[a] = 1
+			tDelta[a] = volume.MacroCell / d[a]
+			bound := k.gridOrg[a] + float64((c[a]+1)*volume.MacroCell)
+			tNext[a] = tA + (bound-p)/d[a]
+		case d[a] < 0:
+			step[a] = -1
+			tDelta[a] = -volume.MacroCell / d[a]
+			bound := k.gridOrg[a] + float64(c[a]*volume.MacroCell)
+			tNext[a] = tA + (bound-p)/d[a]
+		default:
+			tNext[a] = math.Inf(1)
+			tDelta[a] = math.Inf(1)
+		}
+	}
+
+	kNext := kA  // first sample neither evaluated nor skipped yet
+	tEnter := tA // parameter at which the DDA entered the current cell
+	for kNext <= kB {
+		tExit := tNext[0]
+		if tNext[1] < tExit {
+			tExit = tNext[1]
+		}
+		if tNext[2] < tExit {
+			tExit = tNext[2]
+		}
+		if tExit >= tB {
+			// Final cell the interval reaches: evaluate the remainder
+			// (conservative for an empty final cell, but it bounds the
+			// loop and at most one cell's samples are evaluated).
+			st.cellsVisited++
+			k.processRun(origin, kNext, kB, acc, st)
+			return
+		}
+		st.cellsVisited++
+		if k.cellEmpty(c[0], c[1], c[2]) {
+			st.cellsSkipped++
+			// Indices whose parameters clear both boundaries by the
+			// safety margin are provably transparent; stragglers below
+			// the window (this cell's entry zone plus any boundary
+			// samples earlier cells left behind) are evaluated.
+			kSkipLo := int(math.Ceil((tEnter+skipSafety)/k.dt - 0.5))
+			kSkipHi := int(math.Floor((tExit-skipSafety)/k.dt - 0.5))
+			if kSkipHi > kB {
+				kSkipHi = kB
+			}
+			if kSkipLo > kNext {
+				hi := kSkipLo - 1
+				if hi > kB {
+					hi = kB
+				}
+				if k.processRun(origin, kNext, hi, acc, st) {
+					return
+				}
+				kNext = hi + 1
+			}
+			if kSkipHi >= kNext {
+				st.samplesSkipped += int64(kSkipHi - kNext + 1)
+				kNext = kSkipHi + 1
+			}
+		} else {
+			kCellHi := int(math.Floor(tExit/k.dt - 0.5))
+			if kCellHi > kB {
+				kCellHi = kB
+			}
+			if kCellHi >= kNext {
+				if k.processRun(origin, kNext, kCellHi, acc, st) {
+					return
+				}
+				kNext = kCellHi + 1
+			}
+		}
+		// Step across the nearest boundary into the neighboring cell.
+		ax := 0
+		if tNext[1] < tNext[ax] {
+			ax = 1
+		}
+		if tNext[2] < tNext[ax] {
+			ax = 2
+		}
+		tEnter = tNext[ax]
+		c[ax] += step[ax]
+		tNext[ax] += tDelta[ax]
+	}
+}
+
+// processRun evaluates sample indices k0..k1 exactly as the reference
+// kernel does and reports whether the ray hit the early-termination
+// cutoff. Positions stay closed-form ((k+0.5)·dt from the plane point,
+// never incrementally accumulated) so they are bit-identical to the
+// reference kernel's.
+func (k *kernel) processRun(origin [3]float64, k0, k1 int, acc *frame.Pixel, st *tileStats) bool {
+	d := k.cam.Dir
+	fast := k.vol != nil
+	for kk := k0; kk <= k1; kk++ {
+		t := (float64(kk) + 0.5) * k.dt
+		x := origin[0] + t*d[0]
+		y := origin[1] + t*d[1]
+		z := origin[2] + t*d[2]
+		st.samples++
+		var done bool
+		if fast {
+			done = k.accumulateFast(x, y, z, acc)
+		} else {
+			done = k.accumulateGeneric(x, y, z, acc)
+		}
+		if done {
+			return true
+		}
+	}
+	return false
+}
+
+// accumulateFast classifies, shades and composites one sample through
+// the concrete-type path. Each shortcut reproduces the reference
+// arithmetic bit for bit:
+//
+//   - the transfer lookup inlines transfer.Func.Classify;
+//   - where the opacity table is flat across the interpolation span,
+//     the lerp returns the table entry exactly, so the precomputed
+//     correction corr[i] applies; for dt == 1, math.Pow(x, 1) == x
+//     collapses the correction to 1−(1−op); only a varying table entry
+//     under dt ≠ 1 still pays math.Pow;
+//   - subvolume coordinates map with the same two rounded operations,
+//     in the same order, as Subvolume.Sample.
+func (k *kernel) accumulateFast(x, y, z float64, acc *frame.Pixel) bool {
+	lx, ly, lz := x, y, z
+	if k.sub {
+		lx = x - k.subLo[0] + k.subGhost
+		ly = y - k.subLo[1] + k.subGhost
+		lz = z - k.subLo[2] + k.subGhost
+	}
+	v := k.sampleLocal(lx, ly, lz)
+
+	var op, in, a float64
+	switch {
+	case v <= 0:
+		op, in, a = k.opac[0], k.inten[0], k.corr[0]
+	case v >= 1:
+		op, in, a = k.opac[255], k.inten[255], k.corr[255]
+	default:
+		xf := v * 255
+		i := int(xf)
+		t := xf - float64(i)
+		o0 := k.opac[i]
+		op = o0 + t*(k.opac[i+1]-o0)
+		if op <= 0 {
+			return false
+		}
+		in0 := k.inten[i]
+		in = in0 + t*(k.inten[i+1]-in0)
+		switch {
+		case k.flat[i]:
+			a = k.corr[i]
+		case k.dtIsOne:
+			a = 1 - (1 - op)
+		default:
+			a = 1 - math.Pow(1-op, k.dt)
+		}
+	}
+	if op <= 0 {
+		return false
+	}
+	if k.shaded {
+		in *= k.shadeLocal(lx, ly, lz)
+	}
+	w := (1 - acc.A) * a
+	acc.I += w * in
+	acc.A += w
+	return acc.A >= k.cutoff
+}
+
+// accumulateGeneric is the Sampler-interface fallback for custom
+// sampler implementations; same structure, no table shortcuts beyond
+// the dt == 1 Pow elision (which is sampler-independent).
+func (k *kernel) accumulateGeneric(x, y, z float64, acc *frame.Pixel) bool {
+	v := k.s.Sample(x, y, z)
+	op, in := k.tf.Classify(v)
+	if op <= 0 {
+		return false
+	}
+	if k.shaded {
+		in *= shade(k.s, x, y, z, k.light, k.ambient)
+	}
+	var a float64
+	if k.dtIsOne {
+		a = 1 - (1 - op)
+	} else {
+		a = 1 - math.Pow(1-op, k.dt)
+	}
+	w := (1 - acc.A) * a
+	acc.I += w * in
+	acc.A += w
+	return acc.A >= k.cutoff
+}
+
+// sampleLocal reproduces volume.Volume.Sample bit for bit: direct
+// strided loads in the interior, an At-based fallback at the boundary
+// (where the reference zero-extends), and the identical lerp chain.
+func (k *kernel) sampleLocal(x, y, z float64) float64 {
+	x -= 0.5
+	y -= 0.5
+	z -= 0.5
+	x0, y0, z0 := int(math.Floor(x)), int(math.Floor(y)), int(math.Floor(z))
+	fx, fy, fz := x-float64(x0), y-float64(y0), z-float64(z0)
+
+	var c000, c100, c010, c110, c001, c101, c011, c111 float64
+	if x0 >= 0 && y0 >= 0 && z0 >= 0 && x0+1 < k.nx && y0+1 < k.ny && z0+1 < k.nz {
+		d := k.data
+		nx, nxy := k.nx, k.nx*k.ny
+		base := (z0*k.ny+y0)*k.nx + x0
+		c000 = float64(d[base])
+		c100 = float64(d[base+1])
+		c010 = float64(d[base+nx])
+		c110 = float64(d[base+nx+1])
+		c001 = float64(d[base+nxy])
+		c101 = float64(d[base+nxy+1])
+		c011 = float64(d[base+nxy+nx])
+		c111 = float64(d[base+nxy+nx+1])
+	} else {
+		v := k.vol
+		c000 = float64(v.At(x0, y0, z0))
+		c100 = float64(v.At(x0+1, y0, z0))
+		c010 = float64(v.At(x0, y0+1, z0))
+		c110 = float64(v.At(x0+1, y0+1, z0))
+		c001 = float64(v.At(x0, y0, z0+1))
+		c101 = float64(v.At(x0+1, y0, z0+1))
+		c011 = float64(v.At(x0, y0+1, z0+1))
+		c111 = float64(v.At(x0+1, y0+1, z0+1))
+	}
+	c00 := c000 + fx*(c100-c000)
+	c10 := c010 + fx*(c110-c010)
+	c01 := c001 + fx*(c101-c001)
+	c11 := c011 + fx*(c111-c011)
+	c0 := c00 + fy*(c10-c00)
+	c1 := c01 + fy*(c11-c01)
+	return (c0 + fz*(c1-c0)) / 255
+}
+
+// shadeLocal reproduces shade() over the concrete path. The gradient is
+// taken in already-mapped local coordinates — matching Subvolume.
+// Gradient, which maps the position once and then offsets by ±h locally
+// (mapping each offset position separately would round differently).
+func (k *kernel) shadeLocal(lx, ly, lz float64) float64 {
+	const h = 1.0
+	gx := (k.sampleLocal(lx+h, ly, lz) - k.sampleLocal(lx-h, ly, lz)) / (2 * h)
+	gy := (k.sampleLocal(lx, ly+h, lz) - k.sampleLocal(lx, ly-h, lz)) / (2 * h)
+	gz := (k.sampleLocal(lx, ly, lz+h) - k.sampleLocal(lx, ly, lz-h)) / (2 * h)
+	n := math.Sqrt(gx*gx + gy*gy + gz*gz)
+	if n < 1e-9 {
+		return 1 // flat region: unshaded
+	}
+	d := -(gx*k.light[0] + gy*k.light[1] + gz*k.light[2]) / n
+	if d < 0 {
+		d = 0
+	}
+	return k.ambient + (1-k.ambient)*d
+}

@@ -12,7 +12,9 @@ import (
 type RasterOptions struct {
 	// Light is the direction toward the light; zero means head-on.
 	Light [3]float64
-	// Ambient is the ambient shading term, default 0.25.
+	// Ambient is the ambient shading term. Zero means the default
+	// 0.25; negative means a true zero ambient term (the same
+	// negative-disables sentinel as render.Options.Ambient).
 	Ambient float64
 	// Flat quantizes shading to per-face values (no interpolation);
 	// surface images then contain long equal-valued runs, the regime
@@ -24,10 +26,14 @@ type RasterOptions struct {
 }
 
 func (o RasterOptions) ambient() float64 {
-	if o.Ambient == 0 {
+	switch {
+	case o.Ambient == 0:
 		return 0.25
+	case o.Ambient < 0:
+		return 0
+	default:
+		return o.Ambient
 	}
-	return o.Ambient
 }
 
 func (o RasterOptions) levels() int {

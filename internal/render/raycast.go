@@ -13,7 +13,10 @@ import (
 )
 
 // Sampler supplies scalar samples and gradients in global coordinates.
-// Both *volume.Volume and *volume.Subvolume satisfy it.
+// Both *volume.Volume and *volume.Subvolume satisfy it. Those two
+// concrete types additionally get the accelerated kernel (macro-cell
+// empty-space skipping, direct trilinear loads); other implementations
+// render through the interface with the same output semantics.
 type Sampler interface {
 	Sample(x, y, z float64) float64
 	Gradient(x, y, z float64) [3]float64
@@ -34,17 +37,26 @@ type Options struct {
 	// Light is the direction toward the light source for shading;
 	// zero means head-on lighting (the view direction).
 	Light [3]float64
-	// Ambient is the ambient term used with shading, default 0.3.
+	// Ambient is the ambient term used with shading. Zero means the
+	// default 0.3; negative means a true zero ambient term — the same
+	// negative-disables sentinel as EarlyTermination, making "no
+	// ambient" expressible (a plain 0 was indistinguishable from unset).
 	Ambient float64
-	// Workers bounds the worker pool rendering scanlines concurrently.
+	// Workers bounds the worker pool rendering tiles concurrently.
 	// Zero or negative means GOMAXPROCS; 1 renders serially on the
-	// calling goroutine. Scanlines are disjoint Row slices and every
-	// pixel is independent, so the output is bit-identical for any
-	// worker count.
+	// calling goroutine. Tiles are disjoint regions of pre-grown
+	// storage and every pixel depends only on its own ray, so the
+	// output is bit-identical for any worker count.
 	Workers int
-	// Trace, when set, records a "raycast" span covering the scanline
-	// loop on this rank's track. nil (the default) records nothing.
+	// Trace, when set, records a "raycast" span covering the tile loop
+	// (with a nested "grid-build" span for kernel + macro-grid setup)
+	// on this rank's track. nil (the default) records nothing.
 	Trace *trace.Rank
+	// Stats, when set, accumulates ray/sample/macro-cell counters —
+	// including how much work empty-space skipping removed — into the
+	// given collector. Shared collectors are safe (atomics); nil (the
+	// default) skips collection.
+	Stats *Stats
 }
 
 func (o Options) step() float64 {
@@ -72,6 +84,29 @@ func (o Options) cutoff() float64 {
 	}
 }
 
+func (o Options) ambient() float64 {
+	switch {
+	case o.Ambient == 0:
+		return 0.3
+	case o.Ambient < 0:
+		return 0
+	default:
+		return o.Ambient
+	}
+}
+
+// Tile geometry of the work queue. A tile row is 64 pixels = 1 KiB of
+// pixel storage = 16 cache lines, so neighboring tiles contend for at
+// most one line per row; 4 rows per tile keeps a tile coarse enough
+// that the atomic claim is noise yet fine enough that a footprint with
+// very few rows still splits across workers (the scanline queue this
+// replaced went serial whenever the footprint was shorter than the
+// worker count).
+const (
+	tileW = 64
+	tileH = 4
+)
+
 // Raycast renders the portion of the scene inside box, as seen by cam,
 // into a sparse subimage. Sample positions are globally aligned: sample k
 // of any ray sits at parameter (k+0.5)*step measured from the camera's
@@ -79,6 +114,13 @@ func (o Options) cutoff() float64 {
 // position lies inside the half-open box. Disjoint boxes therefore
 // partition every ray's samples, and over-compositing the per-box images
 // front-to-back reproduces the full-volume rendering.
+//
+// The implementation is the accelerated kernel — macro-cell empty-space
+// skipping over a min/max grid, a contiguous in-box sample interval in
+// place of per-sample containment checks, precomputed opacity
+// correction — but its output is bit-identical to RaycastReference for
+// every method, shading and worker-count combination (DESIGN.md §11
+// explains why; the identity tests enforce it).
 func Raycast(s Sampler, box volume.Box, cam *Camera, tf *transfer.Func, opt Options) *frame.Image {
 	img := frame.NewImage(cam.W, cam.H)
 	foot := cam.Footprint(box)
@@ -89,76 +131,46 @@ func Raycast(s Sampler, box volume.Box, cam *Camera, tf *transfer.Func, opt Opti
 	tm := opt.Trace.Begin()
 	defer opt.Trace.End(tm, trace.SpanRaycast, "")
 
-	dt := opt.step()
-	cutoff := opt.cutoff()
-	light := opt.Light
-	if light == ([3]float64{}) {
-		light = [3]float64{-cam.Dir[0], -cam.Dir[1], -cam.Dir[2]}
-	}
-	ambient := opt.Ambient
-	if ambient == 0 {
-		ambient = 0.3
-	}
+	// Kernel setup includes the once-per-volume macro-cell grid build
+	// (amortized by the cache on the volume); it gets its own span
+	// because the first frame of a dataset pays it.
+	gm := opt.Trace.Begin()
+	k := newKernel(s, box, cam, tf, opt)
+	opt.Trace.End(gm, trace.SpanGridBuild, "")
 
-	renderRow := func(py int) {
-		row := img.Row(py, foot.X0, foot.X1)
-		for px := foot.X0; px < foot.X1; px++ {
-			origin := cam.PlanePoint(px, py)
-			tMin, tMax, ok := cam.rayBox(origin, box)
-			if !ok {
-				continue
-			}
-			// Global sample indices overlapping [tMin, tMax], widened by
-			// one step of slack; exact membership is re-checked so that
-			// boundary samples are claimed by exactly one box.
-			kLo := int(math.Floor(tMin/dt - 0.5))
-			kHi := int(math.Ceil(tMax/dt - 0.5))
-			var acc frame.Pixel
-			for k := kLo; k <= kHi; k++ {
-				t := (float64(k) + 0.5) * dt
-				x := origin[0] + t*cam.Dir[0]
-				y := origin[1] + t*cam.Dir[1]
-				z := origin[2] + t*cam.Dir[2]
-				if !box.Contains(x, y, z) {
-					continue
+	tilesX := (foot.Dx() + tileW - 1) / tileW
+	tilesY := (foot.Dy() + tileH - 1) / tileH
+	tiles := tilesX * tilesY
+
+	renderTile := func(idx int, st *tileStats) {
+		x0 := foot.X0 + (idx%tilesX)*tileW
+		y0 := foot.Y0 + (idx/tilesX)*tileH
+		x1 := min(x0+tileW, foot.X1)
+		y1 := min(y0+tileH, foot.Y1)
+		for py := y0; py < y1; py++ {
+			row := img.Row(py, x0, x1)
+			for px := x0; px < x1; px++ {
+				if acc := k.castRay(px, py, st); !acc.Blank() {
+					row[px-x0] = acc
 				}
-				v := s.Sample(x, y, z)
-				op, in := tf.Classify(v)
-				if op <= 0 {
-					continue
-				}
-				if opt.Shaded {
-					in *= shade(s, x, y, z, light, ambient)
-				}
-				// Opacity correction for the step size: op is calibrated
-				// for unit steps.
-				a := 1 - math.Pow(1-op, dt)
-				w := (1 - acc.A) * a
-				acc.I += w * in
-				acc.A += w
-				if acc.A >= cutoff {
-					break
-				}
-			}
-			if !acc.Blank() {
-				row[px-foot.X0] = acc
 			}
 		}
 	}
 
-	rows := foot.Dy()
 	workers := opt.workers()
-	if workers > rows {
-		workers = rows
+	if workers > tiles {
+		workers = tiles
 	}
 	if workers <= 1 {
-		for py := foot.Y0; py < foot.Y1; py++ {
-			renderRow(py)
+		var st tileStats
+		for idx := 0; idx < tiles; idx++ {
+			renderTile(idx, &st)
 		}
+		st.flush(opt.Stats)
 		return img
 	}
-	// Scanlines are disjoint slices of pre-grown storage, so workers
-	// share nothing but the atomic row counter; pixels depend only on
+	// Tiles are claimed off one atomic counter; workers share nothing
+	// else (per-worker stats flush once at exit). Pixels depend only on
 	// the ray through them, so scheduling cannot change the output.
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -166,12 +178,14 @@ func Raycast(s Sampler, box volume.Box, cam *Camera, tf *transfer.Func, opt Opti
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var st tileStats
 			for {
-				py := foot.Y0 + int(next.Add(1)) - 1
-				if py >= foot.Y1 {
+				idx := int(next.Add(1)) - 1
+				if idx >= tiles {
+					st.flush(opt.Stats)
 					return
 				}
-				renderRow(py)
+				renderTile(idx, &st)
 			}
 		}()
 	}

@@ -10,6 +10,7 @@ import (
 
 	"sortlast/internal/autotune"
 	"sortlast/internal/core"
+	"sortlast/internal/render"
 )
 
 // histogram is a Prometheus-style cumulative histogram: fixed upper
@@ -85,6 +86,11 @@ type metrics struct {
 	worldRestarts atomic.Int64             // rank worlds torn down and rebuilt
 
 	queueDepth func() int // sampled at scrape time
+
+	// renderStats samples the server's cumulative ray-caster counters
+	// (rays, samples, macro-cell skips) at scrape time; nil when the
+	// server exposes none.
+	renderStats func() render.StatsSnapshot
 
 	latency *histogram            // admission-to-reply, whole request
 	phases  map[string]*histogram // per-phase (slowest rank), from spans
@@ -172,6 +178,21 @@ func (m *metrics) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# HELP renderd_wire_bytes_total Compositing payload bytes received across all ranks (mp message log).\n")
 	fmt.Fprintf(w, "# TYPE renderd_wire_bytes_total counter\n")
 	fmt.Fprintf(w, "renderd_wire_bytes_total %d\n", m.wire.Load())
+
+	if m.renderStats != nil {
+		rs := m.renderStats()
+		fmt.Fprintf(w, "# HELP renderd_render_rays_total Rays cast whose sample interval intersected a rank's box.\n")
+		fmt.Fprintf(w, "# TYPE renderd_render_rays_total counter\n")
+		fmt.Fprintf(w, "renderd_render_rays_total %d\n", rs.Rays)
+		fmt.Fprintf(w, "# HELP renderd_render_samples_total Ray sample points, by whether macro-cell empty-space skipping removed them.\n")
+		fmt.Fprintf(w, "# TYPE renderd_render_samples_total counter\n")
+		fmt.Fprintf(w, "renderd_render_samples_total{outcome=\"evaluated\"} %d\n", rs.Samples)
+		fmt.Fprintf(w, "renderd_render_samples_total{outcome=\"skipped\"} %d\n", rs.SamplesSkipped)
+		fmt.Fprintf(w, "# HELP renderd_render_macrocells_total Macro cells stepped over by the ray caster's DDA, by classification outcome.\n")
+		fmt.Fprintf(w, "# TYPE renderd_render_macrocells_total counter\n")
+		fmt.Fprintf(w, "renderd_render_macrocells_total{outcome=\"evaluated\"} %d\n", rs.CellsVisited-rs.CellsSkipped)
+		fmt.Fprintf(w, "renderd_render_macrocells_total{outcome=\"skipped\"} %d\n", rs.CellsSkipped)
+	}
 
 	fmt.Fprintf(w, "# HELP renderd_frame_latency_seconds Admission-to-reply latency of served frames.\n")
 	fmt.Fprintf(w, "# TYPE renderd_frame_latency_seconds histogram\n")

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"sortlast/internal/render"
 )
 
 func scrape(t *testing.T, m *metrics) string {
@@ -92,6 +94,35 @@ func TestWritePromExpositionValid(t *testing.T) {
 	}
 	if samples == 0 {
 		t.Fatal("no samples in exposition")
+	}
+}
+
+// TestWritePromRenderStats asserts the ray-caster counters appear when a
+// sampler is attached (with HELP/TYPE, passing the structural test
+// above) and are absent otherwise.
+func TestWritePromRenderStats(t *testing.T) {
+	m := newMetrics(func() int { return 0 })
+	if out := scrape(t, m); strings.Contains(out, "renderd_render_") {
+		t.Error("render counters exposed without a sampler attached")
+	}
+	var rs render.Stats
+	rs.Rays.Store(10)
+	rs.Samples.Store(400)
+	rs.SamplesSkipped.Store(600)
+	rs.CellsVisited.Store(50)
+	rs.CellsSkipped.Store(30)
+	m.renderStats = rs.Snapshot
+	out := scrape(t, m)
+	for _, want := range []string{
+		"renderd_render_rays_total 10",
+		`renderd_render_samples_total{outcome="evaluated"} 400`,
+		`renderd_render_samples_total{outcome="skipped"} 600`,
+		`renderd_render_macrocells_total{outcome="evaluated"} 20`,
+		`renderd_render_macrocells_total{outcome="skipped"} 30`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
 

@@ -174,6 +174,10 @@ type Server struct {
 	restarts     atomic.Int64
 	lastWorldErr atomic.Pointer[error]
 
+	// renderStats accumulates the ray caster's work counters across all
+	// frames and ranks this server has rendered; /metrics exposes them.
+	renderStats render.Stats
+
 	ln      net.Listener
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -229,6 +233,7 @@ func Start(cfg Config) (*Server, error) {
 		supDone: make(chan struct{}),
 	}
 	s.met = newMetrics(func() int { return len(s.queue) })
+	s.met.renderStats = s.renderStats.Snapshot
 
 	// The first world builds synchronously so configuration errors
 	// (unknown world kind, bad address list) fail Start; later failures
@@ -361,7 +366,7 @@ func (s *Server) renderLoop(me int, run *worldRun, in <-chan *job, out chan<- re
 	defer close(out)
 	for j := range in {
 		start := time.Now()
-		img := j.plan.RenderRankTraced(me, j.rec.Rank(me))
+		img := j.plan.RenderRankObserved(me, j.rec.Rank(me), &s.renderStats)
 		if me == 0 {
 			j.renderNS.Store(int64(time.Since(start)))
 		}

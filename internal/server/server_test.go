@@ -59,7 +59,23 @@ func TestBadRequestsAreTyped(t *testing.T) {
 // at the scheduler, never entering the rank pool.
 func TestQueuedDeadlineCancels(t *testing.T) {
 	_, cl := startServer(t, server.Config{P: 2, MaxInFlight: 1, QueueDepth: 8})
-	heavy := server.Request{Dataset: "cube", Method: "bsbrc", Width: 384, Height: 384}
+	// The occupying frames must outlast the short deadline below: a
+	// dense dataset, shaded (macro-cell skipping removes little work on
+	// head, and shading triples the per-sample cost), at high resolution.
+	heavy := server.Request{Dataset: "head", Method: "bsbrc", Width: 768, Height: 768, Shaded: true}
+	// Warm the dataset cache first: admission builds the plan (including
+	// first-use dataset generation) before enqueueing, and the heavy
+	// frames must be IN the queue, not in admission, when the
+	// short-deadline request arrives.
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		warm := heavy
+		warm.Width, warm.Height = 32, 32
+		if _, err := cl.Render(ctx, warm); err != nil {
+			t.Fatalf("warm-up frame: %v", err)
+		}
+		cancel()
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ { // one in flight, one queued ahead
 		wg.Add(1)
@@ -76,7 +92,7 @@ func TestQueuedDeadlineCancels(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	_, err := cl.Render(ctx, server.Request{
-		Dataset: "cube", Method: "bsbrc", Width: 32, Height: 32, DeadlineMS: 1,
+		Dataset: "head", Method: "bsbrc", Width: 32, Height: 32, DeadlineMS: 1,
 	})
 	if !errors.Is(err, client.ErrDeadline) {
 		t.Errorf("short-deadline queued request: got %v, want ErrDeadline", err)

@@ -30,6 +30,10 @@ const (
 	SpanRender = "render"
 	// SpanRaycast is the ray-casting inner loop (child of SpanRender).
 	SpanRaycast = "raycast"
+	// SpanGridBuild is the ray caster's kernel setup — transfer-derived
+	// tables plus the once-per-volume macro-cell grid build (child of
+	// SpanRaycast; near-zero once the volume's grid is cached).
+	SpanGridBuild = "grid-build"
 	// SpanCompositing is one rank's whole compositing phase.
 	SpanCompositing = "compositing"
 	// SpanGather is the final-image gather at rank 0.

@@ -7,6 +7,7 @@ package volume
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Volume is a regular scalar grid of 8-bit samples, x-fastest layout.
@@ -15,6 +16,13 @@ import (
 type Volume struct {
 	NX, NY, NZ int
 	Data       []uint8
+
+	// Lazily built macro-cell min/max summary (see MacroCells). Lives
+	// on the volume so every renderer sharing the immutable dataset —
+	// the harness cache, the serving tier's resident worlds — shares
+	// one build.
+	macroOnce sync.Once
+	macro     *MacroGrid
 }
 
 // New allocates a zeroed volume of the given dimensions.
