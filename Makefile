@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench bench-json bench-autotune bench-render
+.PHONY: check vet build test race chaos bench bench-json bench-autotune bench-render bench-fleet
 
 # check is the pre-commit gate: static analysis, a full build, the full
 # test suite, and the race detector over the packages that run
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./internal/render/ ./internal/core/ ./internal/mp/ \
 		./internal/mpnet/ ./internal/server/ ./internal/faultinject/ \
-		./internal/client/
+		./internal/client/ ./internal/fleet/
 
 # chaos drives an in-process renderd through injected connection resets
 # with a retrying client: the run fails only if a configuration cannot
@@ -47,6 +47,16 @@ bench-json:
 bench-render:
 	@$(GO) run ./cmd/renderbench -out BENCH_render.json || \
 		{ echo "bench-render: FAILED -- renderbench did not complete or the kernels diverged (see error above); BENCH_render.json not updated" >&2; exit 1; }
+
+# bench-fleet measures the fleet gateway (replica routing, hedged
+# dispatch, frame cache) against a single-world baseline and sweeps an
+# open-loop, coordinated-omission-safe load curve; writes
+# BENCH_fleet.json. The run itself verifies cached replies are
+# byte-identical to direct renders and that the load generator kept its
+# schedule, so either failure mode is loud.
+bench-fleet:
+	@$(GO) run ./cmd/servebench -fleet 2 -out BENCH_fleet.json || \
+		{ echo "bench-fleet: FAILED -- the fleet benchmark did not complete, a cached reply diverged, or the open-loop generator could not hold its offered rate (see error above); BENCH_fleet.json not updated" >&2; exit 1; }
 
 # bench-autotune compares Method auto against every fixed compositing
 # method over a mixed dense->sparse animation (quick-calibrating the

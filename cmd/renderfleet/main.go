@@ -1,0 +1,165 @@
+// Command renderfleet runs the fleet gateway: N supervised renderd
+// replicas behind one frame-protocol endpoint, with
+// least-outstanding-work routing (camera-affinity tie-break), hedged
+// dispatch at each replica's rolling p99, cross-replica retries, and a
+// camera-quantized frame cache. The gateway speaks the same
+// length-prefixed protocol as renderd, so internal/client works
+// unchanged against it.
+//
+//	renderfleet -listen 127.0.0.1:7261 -metrics-addr 127.0.0.1:7262 -replicas 2 -p 4 &
+//	curl -s http://127.0.0.1:7262/metrics | grep fleet_cache
+//	curl -s 'http://127.0.0.1:7262/cache/invalidate?dataset=cube'
+//
+// Replicas are in-process by default (each its own supervised rank
+// world); -attach points the gateway at externally-run renderd
+// processes instead. -p takes either one value applied to every
+// replica or a comma-separated list for a heterogeneous fleet.
+// SIGINT/SIGTERM drain gracefully: in-flight frames finish, replicas
+// shut down, hedge losers are reaped.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sortlast/internal/autotune"
+	"sortlast/internal/fleet"
+	"sortlast/internal/server"
+)
+
+var (
+	listen      = flag.String("listen", "127.0.0.1:7261", "frame-protocol listen address")
+	metricsAddr = flag.String("metrics-addr", "127.0.0.1:7262", "observability sidecar address serving /healthz, /metrics and /cache/invalidate; empty disables")
+	replicas    = flag.Int("replicas", 2, "in-process renderd replicas (ignored with -attach)")
+	attach      = flag.String("attach", "", "comma-separated addresses of externally-run renderd processes to route to instead of starting in-process replicas")
+	pList       = flag.String("p", "4", "resident ranks per replica: one value for all, or a comma-separated per-replica list")
+	world       = flag.String("world", "mp", "rank pool kind for in-process replicas: mp (in-process) or mpnet (TCP)")
+	queue       = flag.Int("queue", 64, "admission queue depth per replica")
+	inflight    = flag.Int("inflight", 2, "max frames pipelined per replica")
+	workers     = flag.Int("workers", 0, "ray-casting workers per rank (0: GOMAXPROCS)")
+	deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	frameTO     = flag.Duration("frame-timeout", 0, "per-frame watchdog deadline per replica (0: 60s)")
+	profilePath = flag.String("profile", "", "machine profile JSON from cmd/calibrate, driving Method \"auto\" selection in each replica")
+	cacheBytes  = flag.Int64("cache-bytes", 0, "frame cache byte budget (0: 64 MiB)")
+	noCache     = flag.Bool("no-cache", false, "disable the frame cache")
+	quant       = flag.Float64("quant", 0, "camera quantization step in degrees for cache keys (0: 0.25)")
+	hedgeMin    = flag.Duration("hedge-min", 0, "floor on the hedge trigger delay (0: 10ms)")
+	noHedge     = flag.Bool("no-hedge", false, "disable hedged dispatch")
+	drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "renderfleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// perReplicaP expands -p into one rank count per replica.
+func perReplicaP(spec string, n int) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	ps := make([]int, 0, len(parts))
+	for _, s := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -p value %q", s)
+		}
+		ps = append(ps, v)
+	}
+	if len(ps) == 1 {
+		one := ps[0]
+		ps = make([]int, n)
+		for i := range ps {
+			ps[i] = one
+		}
+	}
+	if len(ps) != n {
+		return nil, fmt.Errorf("-p lists %d values for %d replicas", len(ps), n)
+	}
+	return ps, nil
+}
+
+func run() error {
+	var prof *autotune.Profile
+	if *profilePath != "" {
+		var err error
+		if prof, err = autotune.LoadProfile(*profilePath); err != nil {
+			return err
+		}
+	}
+
+	var rcs []fleet.ReplicaConfig
+	if *attach != "" {
+		for _, a := range strings.Split(*attach, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				rcs = append(rcs, fleet.ReplicaConfig{Addr: a})
+			}
+		}
+		if len(rcs) == 0 {
+			return fmt.Errorf("-attach lists no addresses")
+		}
+	} else {
+		if *replicas < 1 {
+			return fmt.Errorf("-replicas must be >= 1")
+		}
+		ps, err := perReplicaP(*pList, *replicas)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < *replicas; i++ {
+			rcs = append(rcs, fleet.ReplicaConfig{Server: &server.Config{
+				World:           *world,
+				P:               ps[i],
+				QueueDepth:      *queue,
+				MaxInFlight:     *inflight,
+				Workers:         *workers,
+				DefaultDeadline: *deadline,
+				FrameTimeout:    *frameTO,
+				Profile:         prof,
+			}})
+		}
+	}
+
+	cb := *cacheBytes
+	if *noCache {
+		cb = -1
+	}
+	g, err := fleet.Start(fleet.Config{
+		Addr:            *listen,
+		HTTPAddr:        *metricsAddr,
+		Replicas:        rcs,
+		CacheBytes:      cb,
+		QuantDeg:        *quant,
+		HedgeMin:        *hedgeMin,
+		HedgeDisabled:   *noHedge,
+		DefaultDeadline: *deadline,
+	})
+	if err != nil {
+		return err
+	}
+	mode := fmt.Sprintf("%d in-process replicas", len(rcs))
+	if *attach != "" {
+		mode = fmt.Sprintf("%d attached replicas", len(rcs))
+	}
+	fmt.Printf("renderfleet: serving frames on %s (%s, cache=%v, hedge=%v)\n",
+		g.Addr(), mode, !*noCache, !*noHedge)
+	if a := g.HTTPAddr(); a != nil {
+		fmt.Printf("renderfleet: /healthz, /metrics and /cache/invalidate on http://%s\n", a)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("renderfleet: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	return g.Shutdown(ctx)
+}

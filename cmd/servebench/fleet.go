@@ -1,0 +1,434 @@
+// Fleet mode: -fleet N benchmarks the gateway tier against a
+// single-world baseline with a dashboard-style workload (a fixed set of
+// repeat cameras plus a stream of unique ones), then sweeps an
+// open-loop, coordinated-omission-safe load curve.
+//
+// Closed-loop numbers (a fixed worker pool waiting for each reply)
+// understate tail latency under overload, because a slow server slows
+// the offered load down with it. The open-loop sweep instead fixes the
+// arrival rate — fixed interval or Poisson — and measures every request
+// from its *intended* send time, so queueing delay the generator
+// couldn't help is charged to the server. If the generator itself falls
+// behind its schedule the point is marked saturated and the run fails
+// loudly: a curve measured by a wedged generator is not a curve.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sortlast/internal/client"
+	"sortlast/internal/fleet"
+	"sortlast/internal/server"
+)
+
+var (
+	fleetN     = flag.Int("fleet", 0, "benchmark a fleet gateway with N in-process replicas instead of the per-(P,method) sweep; writes a fleet report to -out")
+	fleetP     = flag.Int("p", 2, "resident ranks per replica (fleet mode)")
+	poisson    = flag.Bool("poisson", false, "Poisson (exponential) interarrivals in the open-loop sweep instead of a fixed interval")
+	repeatFrac = flag.Float64("repeat-frac", 0.75, "fraction of requests aimed at the fixed dashboard cameras (the rest are unique cameras)")
+	cameras    = flag.Int("cameras", 8, "dashboard cameras in the repeat set")
+	benchSeed  = flag.Int64("seed", 1, "workload RNG seed (camera mix, Poisson gaps)")
+	slipBudget = flag.Duration("slip-budget", 250*time.Millisecond, "max generator schedule slip before an open-loop point is declared unachievable")
+)
+
+// workload deals the dashboard/unique camera mix. Unique cameras never
+// repeat across the whole run (one global counter), so a cache hit can
+// only come from the dashboard set.
+type workload struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	unique *atomic.Int64 // shared across phases: fleet phases share one cache
+	dash   []server.Request
+}
+
+func newWorkload(rng *rand.Rand, unique *atomic.Int64) *workload {
+	w := &workload{rng: rng, unique: unique}
+	for i := 0; i < *cameras; i++ {
+		w.dash = append(w.dash, server.Request{
+			Dataset: "cube", Method: "bsbrc", Width: *size, Height: *size,
+			RotY: float64(i) * (360.0 / float64(*cameras)),
+		})
+	}
+	return w
+}
+
+func (w *workload) next() server.Request {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.rng.Float64() < *repeatFrac {
+		return w.dash[w.rng.Intn(len(w.dash))]
+	}
+	// Unique cameras step by two quantization buckets so no two ever
+	// share a cache key; RotX shifts each full turn to keep them unique
+	// forever.
+	u := w.unique.Add(1)
+	return server.Request{
+		Dataset: "cube", Method: "bsbrc", Width: *size, Height: *size,
+		RotY: math.Mod(float64(u)*0.5, 360),
+		RotX: 11.5 + 0.5*math.Floor(float64(u)/720),
+	}
+}
+
+// closedLoop drives n requests through conc workers and reports
+// per-call latency percentiles and throughput.
+type closedResult struct {
+	FPS    float64 `json:"frames_per_sec"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	Frames int     `json:"frames"`
+	Errors int     `json:"errors"`
+}
+
+func closedLoop(cl *client.Client, wl *workload, n int) (closedResult, error) {
+	var mu sync.Mutex
+	var lats []time.Duration
+	var errCount int
+	var lastErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *conc)
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		req := wl.next()
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(req server.Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			_, err := cl.Render(ctx, req)
+			mu.Lock()
+			if err != nil {
+				errCount++
+				lastErr = err
+			} else {
+				lats = append(lats, time.Since(t0))
+			}
+			mu.Unlock()
+		}(req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if len(lats) == 0 {
+		return closedResult{}, fmt.Errorf("all %d requests failed: %w", n, lastErr)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(f float64) float64 {
+		return float64(lats[int(f*float64(len(lats)-1))]) / float64(time.Millisecond)
+	}
+	return closedResult{
+		FPS: float64(len(lats)) / elapsed.Seconds(),
+		P50MS: q(0.50), P99MS: q(0.99),
+		Frames: len(lats), Errors: errCount,
+	}, nil
+}
+
+// olPoint is one offered-rate point on the open-loop curve.
+type olPoint struct {
+	OfferedFPS  float64 `json:"offered_fps"`
+	AchievedFPS float64 `json:"achieved_fps"`
+	Sent        int     `json:"sent"`
+	Errors      int     `json:"errors"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+	// SlipMS is the worst generator schedule slip: how late a request
+	// was handed to the network relative to its intended send time.
+	// Latencies are measured from the intended time regardless, so slip
+	// is charged to the result — this field says who was at fault.
+	SlipMS    float64 `json:"generator_slip_ms"`
+	Saturated bool    `json:"generator_saturated"`
+	// Gateway deltas across the point.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Hedges       int64   `json:"hedges"`
+	Retries      int64   `json:"retries"`
+	ReplicaFrames []int64 `json:"replica_frames"`
+}
+
+func statsDelta(after, before fleet.Stats) (hitRate float64, hedges, retries int64, perReplica []int64) {
+	hits := after.CacheHits - before.CacheHits
+	miss := after.CacheMisses - before.CacheMisses
+	if hits+miss > 0 {
+		hitRate = float64(hits) / float64(hits+miss)
+	}
+	hedges = after.HedgesIssued - before.HedgesIssued
+	retries = after.Retries - before.Retries
+	for i := range after.Replicas {
+		f := after.Replicas[i].Frames
+		if i < len(before.Replicas) {
+			f -= before.Replicas[i].Frames
+		}
+		perReplica = append(perReplica, f)
+	}
+	return
+}
+
+// openLoop offers n requests at a fixed rate (or Poisson at the same
+// mean) and measures each from its intended send time.
+func openLoop(cl *client.Client, g *fleet.Gateway, wl *workload, rate float64, n int, rng *rand.Rand) olPoint {
+	before := g.Stats()
+	lats := make([]time.Duration, n)
+	ok := make([]bool, n)
+	var errCount atomic.Int64
+	var wg sync.WaitGroup
+	ctx := context.Background()
+
+	start := time.Now().Add(20 * time.Millisecond)
+	next := start
+	var maxSlip time.Duration
+	for i := 0; i < n; i++ {
+		var gap time.Duration
+		if *poisson {
+			gap = time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		} else {
+			gap = time.Duration(float64(time.Second) / rate)
+		}
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if slip := time.Since(next); slip > maxSlip {
+			maxSlip = slip
+		}
+		req := wl.next()
+		wg.Add(1)
+		go func(i int, intended time.Time, req server.Request) {
+			defer wg.Done()
+			_, err := cl.Render(ctx, req)
+			if err != nil {
+				errCount.Add(1)
+				return
+			}
+			lats[i] = time.Since(intended) // intended send time: CO-safe
+			ok[i] = true
+		}(i, next, req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var good []time.Duration
+	for i := range lats {
+		if ok[i] {
+			good = append(good, lats[i])
+		}
+	}
+	sort.Slice(good, func(i, j int) bool { return good[i] < good[j] })
+	q := func(f float64) float64 {
+		if len(good) == 0 {
+			return math.NaN()
+		}
+		return float64(good[int(f*float64(len(good)-1))]) / float64(time.Millisecond)
+	}
+	pt := olPoint{
+		OfferedFPS:  rate,
+		AchievedFPS: float64(len(good)) / elapsed.Seconds(),
+		Sent:        n,
+		Errors:      int(errCount.Load()),
+		P50MS:       q(0.50),
+		P99MS:       q(0.99),
+		MaxMS:       q(1.0),
+		SlipMS:      float64(maxSlip) / float64(time.Millisecond),
+		Saturated:   maxSlip > *slipBudget,
+	}
+	pt.CacheHitRate, pt.Hedges, pt.Retries, pt.ReplicaFrames = statsDelta(g.Stats(), before)
+	return pt
+}
+
+// fleetReport is the -fleet mode output (BENCH_fleet.json).
+type fleetReport struct {
+	Replicas   int     `json:"replicas"`
+	P          int     `json:"p"`
+	Size       int     `json:"size"`
+	Cameras    int     `json:"cameras"`
+	RepeatFrac float64 `json:"repeat_frac"`
+	Poisson    bool    `json:"poisson"`
+	HostCPUs   int     `json:"host_cpus"`
+
+	// Single is the closed-loop saturation of one renderd (no gateway)
+	// on the same workload mix.
+	Single closedResult `json:"single_world"`
+	// FleetClosed is the gateway's closed-loop saturation on the same
+	// mix; Speedup is its throughput over Single's. On a single-CPU
+	// host the win comes from the frame cache absorbing the dashboard
+	// repeats, not from parallel rendering.
+	FleetClosed  closedResult `json:"fleet_closed"`
+	Speedup      float64      `json:"speedup"`
+	CacheHitRate float64      `json:"cache_hit_rate"`
+	Hedges       int64        `json:"hedges"`
+	HedgeWins    int64        `json:"hedge_wins"`
+	Retries      int64        `json:"retries"`
+	ReplicaFrames []int64     `json:"replica_frames"`
+
+	// OpenLoop is the latency-vs-offered-load curve against the fleet,
+	// rates set as multiples of the single-world saturation throughput.
+	OpenLoop []olPoint `json:"open_loop"`
+
+	// CacheByteIdentity records that a cached reply (Cached flag set)
+	// was byte-identical to both the fresh fleet render that populated
+	// it and a direct single-world render at equal P.
+	CacheByteIdentity bool `json:"cache_byte_identity"`
+}
+
+func runFleet() error {
+	// Fleet mode defaults differ from the per-(P,method) sweep; honor
+	// explicit flags, resize the rest.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !set["size"] {
+		*size = 128
+	}
+	if !set["frames"] {
+		*frames = 160
+	}
+
+	rep := fleetReport{
+		Replicas: *fleetN, P: *fleetP, Size: *size,
+		Cameras: *cameras, RepeatFrac: *repeatFrac, Poisson: *poisson,
+		HostCPUs: runtime.NumCPU(),
+	}
+	var unique atomic.Int64
+	identityReq := server.Request{Dataset: "cube", Method: "bsbrc", Width: *size, Height: *size, RotY: 33}
+
+	// Phase 1: single-world closed-loop baseline (and the identity
+	// reference bytes, rendered directly at the same P).
+	srv, err := server.Start(server.Config{
+		Addr: "127.0.0.1:0", P: *fleetP,
+		QueueDepth: 2 * *frames, MaxInFlight: *inflight,
+		DefaultDeadline: 5 * time.Minute,
+	})
+	if err != nil {
+		return fmt.Errorf("baseline renderd: %w", err)
+	}
+	scl := client.New(srv.Addr().String())
+	ref, err := scl.Render(context.Background(), identityReq) // also warms the dataset
+	if err != nil {
+		return fmt.Errorf("baseline identity render: %w", err)
+	}
+	rep.Single, err = closedLoop(scl, newWorkload(rand.New(rand.NewSource(*benchSeed)), &unique), *frames)
+	scl.Close()
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		srv.Shutdown(ctx)
+		cancel()
+	}
+	if err != nil {
+		return fmt.Errorf("single-world baseline: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "single world  P=%d %7.2f frames/s  p50 %6.1f ms  p99 %6.1f ms\n",
+		*fleetP, rep.Single.FPS, rep.Single.P50MS, rep.Single.P99MS)
+
+	// Phase 2: the fleet on the same mix, closed loop to saturation.
+	rcs := make([]fleet.ReplicaConfig, *fleetN)
+	for i := range rcs {
+		rcs[i] = fleet.ReplicaConfig{Server: &server.Config{
+			P: *fleetP, QueueDepth: 2 * *frames, MaxInFlight: *inflight,
+			DefaultDeadline: 5 * time.Minute,
+		}}
+	}
+	g, err := fleet.Start(fleet.Config{
+		Addr: "127.0.0.1:0", Replicas: rcs,
+		DefaultDeadline: 5 * time.Minute,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet gateway: %w", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		g.Shutdown(ctx)
+	}()
+	fcl := client.New(g.Addr().String())
+	defer fcl.Close()
+	if _, err := fcl.Render(context.Background(), server.Request{
+		Dataset: "cube", Method: "bsbrc", Width: *size, Height: *size, RotY: 180,
+	}); err != nil { // warm each replica's dataset cache via the gateway
+		return fmt.Errorf("fleet warmup: %w", err)
+	}
+
+	before := g.Stats()
+	rep.FleetClosed, err = closedLoop(fcl, newWorkload(rand.New(rand.NewSource(*benchSeed+1)), &unique), *frames)
+	if err != nil {
+		return fmt.Errorf("fleet closed loop: %w", err)
+	}
+	rep.Speedup = rep.FleetClosed.FPS / rep.Single.FPS
+	rep.CacheHitRate, rep.Hedges, rep.Retries, rep.ReplicaFrames = statsDelta(g.Stats(), before)
+	rep.HedgeWins = g.Stats().HedgeWins
+	fmt.Fprintf(os.Stderr, "fleet x%d     P=%d %7.2f frames/s  p50 %6.1f ms  p99 %6.1f ms  speedup %.2fx  cache %2.0f%%  hedges %d  replicas %v\n",
+		*fleetN, *fleetP, rep.FleetClosed.FPS, rep.FleetClosed.P50MS, rep.FleetClosed.P99MS,
+		rep.Speedup, 100*rep.CacheHitRate, rep.Hedges, rep.ReplicaFrames)
+
+	// Phase 3: open-loop sweep at multiples of the single-world
+	// saturation throughput.
+	olRng := rand.New(rand.NewSource(*benchSeed + 2))
+	saturated := false
+	for _, mult := range []float64{0.5, 1.0, 1.5, 1.7, 2.0} {
+		rate := mult * rep.Single.FPS
+		n := int(rate * 6)
+		if n < 48 {
+			n = 48
+		}
+		if n > 400 {
+			n = 400
+		}
+		wl := newWorkload(rand.New(rand.NewSource(*benchSeed+10+int64(mult*10))), &unique)
+		pt := openLoop(fcl, g, wl, rate, n, olRng)
+		rep.OpenLoop = append(rep.OpenLoop, pt)
+		note := ""
+		if pt.Saturated {
+			saturated = true
+			note = "  GENERATOR SATURATED"
+		}
+		fmt.Fprintf(os.Stderr, "open loop %4.1fx offered %7.2f/s achieved %7.2f/s  p50 %6.1f ms  p99 %7.1f ms  err %d  cache %2.0f%%  hedges %d  replicas %v%s\n",
+			mult, pt.OfferedFPS, pt.AchievedFPS, pt.P50MS, pt.P99MS, pt.Errors,
+			100*pt.CacheHitRate, pt.Hedges, pt.ReplicaFrames, note)
+	}
+
+	// Phase 4: cached replies must be byte-identical to a direct
+	// single-world render at equal P, and flagged as cached.
+	fresh, err := fcl.Render(context.Background(), identityReq)
+	if err != nil {
+		return fmt.Errorf("fleet identity render: %w", err)
+	}
+	hit, err := fcl.Render(context.Background(), identityReq)
+	if err != nil {
+		return fmt.Errorf("fleet identity repeat: %w", err)
+	}
+	rep.CacheByteIdentity = hit.Stats.Cached &&
+		string(fresh.Gray) == string(ref.Gray) && string(hit.Gray) == string(ref.Gray)
+	if !rep.CacheByteIdentity {
+		fmt.Fprintf(os.Stderr, "servebench: CACHE IDENTITY FAILURE (cached=%v, fresh==ref %v, hit==ref %v)\n",
+			hit.Stats.Cached, string(fresh.Gray) == string(ref.Gray), string(hit.Gray) == string(ref.Gray))
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+
+	if saturated {
+		return fmt.Errorf("open-loop generator fell more than %v behind its schedule: the offered rate was not achieved, the affected points do not measure the server — rerun with lower rates or a larger -slip-budget", *slipBudget)
+	}
+	if !rep.CacheByteIdentity {
+		return fmt.Errorf("cached reply was not byte-identical to a direct render")
+	}
+	return nil
+}

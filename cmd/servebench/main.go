@@ -7,6 +7,12 @@
 //
 // The JSON output is an array of per-configuration records, one per
 // (P, method) pair, consumed by `make bench-json`.
+//
+// With -fleet N the benchmark instead measures the fleet gateway
+// (cmd/renderfleet's tier) against a single-world baseline and sweeps
+// an open-loop, coordinated-omission-safe load curve; see fleet.go.
+//
+//	go run ./cmd/servebench -fleet 2 -out BENCH_fleet.json
 package main
 
 import (
@@ -61,6 +67,9 @@ func main() {
 }
 
 func run() error {
+	if *fleetN > 0 {
+		return runFleet()
+	}
 	var records []record
 	for _, p := range []int{4, 8} {
 		for _, method := range []string{"bs", "bsbrc"} {

@@ -123,19 +123,52 @@ type Client struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	idle chan net.Conn
+	idle chan idleConn
+
+	// probeAfter is how long a connection may sit idle before checkout
+	// health-checks it (see probeIdle); overridable for tests.
+	probeAfter time.Duration
 }
 
-// maxIdleConns bounds the pooled (idle) connections kept open.
+// idleConn is one pooled connection with its park time, so checkout can
+// probe only connections that have been idle long enough to have been
+// closed underneath us (a restarted world, a gateway dropping backends).
+type idleConn struct {
+	c     net.Conn
+	since time.Time
+}
+
+// maxIdleConns bounds the pooled (idle) connections kept open by New;
+// NewPooled lets gateway-scale callers raise it.
 const maxIdleConns = 16
+
+// idleProbeAfter is the default idle age beyond which a pooled
+// connection is health-checked on checkout. Connections cycling through
+// a busy pool skip the probe entirely.
+const idleProbeAfter = 50 * time.Millisecond
+
+// idleProbeTimeout bounds the health-check read: a live idle connection
+// has nothing to send, so the read times out almost immediately; a
+// connection closed by a restarted server returns EOF/RST instead.
+const idleProbeTimeout = time.Millisecond
 
 // New returns a client for the renderd instance at addr. Connections
 // are dialed lazily on first use.
-func New(addr string) *Client {
+func New(addr string) *Client { return NewPooled(addr, maxIdleConns) }
+
+// NewPooled returns a client keeping up to maxIdle pooled connections.
+// The fleet gateway funnels many concurrent requests through one client
+// per replica, so it needs a pool sized to its concurrency rather than
+// the single-caller default.
+func NewPooled(addr string, maxIdle int) *Client {
+	if maxIdle < 1 {
+		maxIdle = maxIdleConns
+	}
 	return &Client{
-		addr: addr,
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
-		idle: make(chan net.Conn, maxIdleConns),
+		addr:       addr,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+		idle:       make(chan idleConn, maxIdle),
+		probeAfter: idleProbeAfter,
 	}
 }
 
@@ -254,17 +287,44 @@ func roundTrip(ctx context.Context, conn net.Conn, req server.Request) (*Frame, 
 }
 
 func (c *Client) conn(ctx context.Context) (net.Conn, error) {
-	select {
-	case conn := <-c.idle:
+	for {
+		select {
+		case ic := <-c.idle:
+			// Health-check connections that sat idle long enough for the
+			// server to have restarted: a dead connection is dropped here
+			// and the next pooled (or fresh) one used, instead of
+			// surfacing a first-byte error to the caller.
+			if time.Since(ic.since) < c.probeAfter || probeIdle(ic.c) {
+				return ic.c, nil
+			}
+			ic.c.Close()
+			continue
+		default:
+		}
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		if err != nil {
+			return nil, fmt.Errorf("renderd: dial %s: %w", c.addr, err)
+		}
 		return conn, nil
-	default:
 	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
-		return nil, fmt.Errorf("renderd: dial %s: %w", c.addr, err)
+}
+
+// probeIdle reports whether an idle pooled connection is still usable: a
+// short read that times out means the stream is alive and in sync (the
+// server never sends unsolicited bytes), while EOF or a reset means the
+// peer closed it, and unexpected data means the stream is desynced.
+func probeIdle(conn net.Conn) bool {
+	if err := conn.SetReadDeadline(time.Now().Add(idleProbeTimeout)); err != nil {
+		return false
 	}
-	return conn, nil
+	var b [1]byte
+	_, err := conn.Read(b[:])
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return conn.SetReadDeadline(time.Time{}) == nil
+	}
+	return false
 }
 
 func (c *Client) release(conn net.Conn) {
@@ -276,7 +336,7 @@ func (c *Client) release(conn net.Conn) {
 		return
 	}
 	select {
-	case c.idle <- conn:
+	case c.idle <- idleConn{c: conn, since: time.Now()}:
 	default:
 		conn.Close()
 	}
@@ -287,8 +347,8 @@ func (c *Client) release(conn net.Conn) {
 func (c *Client) Close() {
 	for {
 		select {
-		case conn := <-c.idle:
-			conn.Close()
+		case ic := <-c.idle:
+			ic.c.Close()
 		default:
 			return
 		}

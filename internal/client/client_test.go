@@ -128,6 +128,69 @@ func TestRetryHonorsDeadline(t *testing.T) {
 	}
 }
 
+// A connection closed by a restarted server while pooled must be
+// detected at checkout (health-check probe) and replaced with a fresh
+// dial, instead of surfacing a first-byte error to the caller.
+func TestCheckoutDropsDeadIdleConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var accepted atomic.Int64
+	conns := make(chan net.Conn, 16)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			conns <- conn
+			go func(conn net.Conn) {
+				for {
+					var req server.Request
+					if err := server.ReadJSON(conn, server.MaxRequestFrame, &req); err != nil {
+						return
+					}
+					server.WriteJSON(conn, server.Response{OK: true, Width: 1, Height: 1})
+					server.WriteFrame(conn, []byte{200})
+				}
+			}(conn)
+		}
+	}()
+
+	c := New(ln.Addr().String())
+	c.probeAfter = 0 // probe on every checkout, regardless of idle age
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Render(ctx, server.Request{}); err != nil {
+		t.Fatalf("first Render: %v", err)
+	}
+
+	// "Restart" the server: the pooled connection's peer goes away.
+drain:
+	for {
+		select {
+		case conn := <-conns:
+			conn.Close()
+		default:
+			break drain
+		}
+	}
+	// Let the FIN reach the client socket so the probe sees EOF rather
+	// than racing it.
+	time.Sleep(20 * time.Millisecond)
+
+	if _, err := c.Render(ctx, server.Request{}); err != nil {
+		t.Fatalf("Render after server restart: %v (dead idle conn not dropped at checkout)", err)
+	}
+	if n := accepted.Load(); n != 2 {
+		t.Errorf("server accepted %d connections, want 2 (one fresh dial after the restart)", n)
+	}
+}
+
 // fakeConn is a net.Conn whose SetDeadline fails, as a torn-down TCP
 // connection's does.
 type fakeConn struct {

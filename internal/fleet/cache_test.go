@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"sortlast/internal/server"
+)
+
+// Quantization boundary behavior: angles within half a step of a grid
+// point share its bucket, the midpoint rounds away from the lower
+// bucket, the circle wraps, and negative angles alias their positive
+// equivalents.
+func TestQuantizeDegBoundaries(t *testing.T) {
+	const step = 0.5
+	cases := []struct {
+		a, b float64
+		same bool
+	}{
+		{0, 0.24, true},    // inside the half-step band
+		{0.24, 0.26, false}, // straddles the 0.25 midpoint
+		{0.26, 0.5, true},  // both round to bucket 1
+		{0.25, 0.5, true},  // midpoint rounds up (away from zero)
+		{-0.2, 0.2, true},  // negative aliases across zero
+		{359.9, 0.1, true}, // top bucket wraps onto bucket 0
+		{360.0, 0.0, true}, // full turn aliases
+		{-360.0, 0.0, true},
+		{725.1, 5.1, true}, // multiple turns alias
+		{30.0, 30.49, false}, // 30.49 rounds to 30.5's bucket
+		{30.0, 30.24, true},
+	}
+	for _, tc := range cases {
+		qa, qb := quantizeDeg(tc.a, step), quantizeDeg(tc.b, step)
+		if (qa == qb) != tc.same {
+			t.Errorf("quantizeDeg(%g)=%d vs quantizeDeg(%g)=%d: same=%v, want %v",
+				tc.a, qa, tc.b, qb, qa == qb, tc.same)
+		}
+	}
+}
+
+// The key normalizes the empty method onto the server default and keeps
+// everything that changes rendered bytes.
+func TestQuantKeyNormalization(t *testing.T) {
+	base := server.Request{Dataset: "cube", Width: 64, Height: 64, RotY: 30}
+	k1 := quantKey(base, 0.5)
+	withDefault := base
+	withDefault.Method = server.DefaultMethod
+	if k1 != quantKey(withDefault, 0.5) {
+		t.Error("empty method and the explicit default produced different keys")
+	}
+	shaded := base
+	shaded.Shaded = true
+	if k1 == quantKey(shaded, 0.5) {
+		t.Error("shading is not in the key")
+	}
+	deadline := base
+	deadline.DeadlineMS = 5000
+	if k1 != quantKey(deadline, 0.5) {
+		t.Error("the request deadline leaked into the cache key")
+	}
+}
+
+func entryFor(dataset, method string, rot float64, n int) *cacheEntry {
+	key := quantKey(server.Request{Dataset: dataset, Method: method, Width: 8, Height: 8, RotY: rot}, 0.5)
+	return &cacheEntry{key: key, width: 8, height: 8, gray: make([]byte, n)}
+}
+
+// LRU eviction respects the byte budget and evicts the least recently
+// used entry first.
+func TestCacheLRUByteBudget(t *testing.T) {
+	const payload = 1000
+	budget := int64(3 * (payload + entryOverhead))
+	c := newFrameCache(budget)
+	for i := 0; i < 3; i++ {
+		if ev := c.put(entryFor("cube", "bs", float64(i*10), payload)); ev != 0 {
+			t.Fatalf("put %d evicted %d entries under budget", i, ev)
+		}
+	}
+	if c.entries() != 3 {
+		t.Fatalf("entries = %d, want 3", c.entries())
+	}
+	// Touch entry 0 so entry 1 (rot 10) is the LRU, then overflow.
+	if _, ok := c.get(entryFor("cube", "bs", 0, payload).key); !ok {
+		t.Fatal("entry 0 missing before overflow")
+	}
+	if ev := c.put(entryFor("cube", "bs", 30, payload)); ev != 1 {
+		t.Fatalf("overflow evicted %d entries, want 1", ev)
+	}
+	if _, ok := c.get(entryFor("cube", "bs", 10, payload).key); ok {
+		t.Error("LRU entry (rot 10) survived the eviction")
+	}
+	if _, ok := c.get(entryFor("cube", "bs", 0, payload).key); !ok {
+		t.Error("recently used entry (rot 0) was evicted")
+	}
+	if c.sizeBytes() > budget {
+		t.Errorf("cache holds %d bytes over its %d budget", c.sizeBytes(), budget)
+	}
+	// An entry larger than the whole budget is refused, not cached.
+	if c.put(entryFor("cube", "bs", 99, int(budget))); c.entries() != 3 {
+		t.Errorf("oversized entry changed the cache: %d entries", c.entries())
+	}
+}
+
+// Replacing an existing key must adjust the byte account, not leak it.
+func TestCacheReplaceAccounting(t *testing.T) {
+	c := newFrameCache(1 << 20)
+	c.put(entryFor("cube", "bs", 0, 1000))
+	before := c.sizeBytes()
+	c.put(entryFor("cube", "bs", 0, 500))
+	if c.entries() != 1 {
+		t.Fatalf("entries = %d after replace, want 1", c.entries())
+	}
+	if got, want := c.sizeBytes(), before-500; got != want {
+		t.Errorf("bytes = %d after shrinking replace, want %d", got, want)
+	}
+}
+
+// Invalidation is scoped per (dataset, method): the dataset sweep drops
+// all of a dataset's entries, the method-scoped sweep only that
+// method's, and unrelated datasets survive both.
+func TestCacheInvalidateDatasetMethod(t *testing.T) {
+	c := newFrameCache(1 << 20)
+	for _, ds := range []string{"cube", "head"} {
+		for _, m := range []string{"bs", "bsbrc"} {
+			c.put(entryFor(ds, m, 0, 100))
+			c.put(entryFor(ds, m, 10, 100))
+		}
+	}
+	if c.entries() != 8 {
+		t.Fatalf("entries = %d, want 8", c.entries())
+	}
+	if n := c.invalidate("cube", "bs"); n != 2 {
+		t.Errorf("invalidate(cube, bs) removed %d, want 2", n)
+	}
+	if _, ok := c.get(entryFor("cube", "bsbrc", 0, 100).key); !ok {
+		t.Error("method-scoped sweep removed another method's entry")
+	}
+	if n := c.invalidate("head", ""); n != 4 {
+		t.Errorf("invalidate(head, all) removed %d, want 4", n)
+	}
+	if c.entries() != 2 {
+		t.Errorf("entries = %d after sweeps, want 2 (cube/bsbrc)", c.entries())
+	}
+	if n := c.invalidate("missing", ""); n != 0 {
+		t.Errorf("invalidating an absent dataset removed %d entries", n)
+	}
+	// The byte account matches the survivors.
+	var want int64
+	for i := 0; i < c.entries(); i++ {
+		want += 100 + entryOverhead
+	}
+	if c.sizeBytes() != want {
+		t.Errorf("bytes = %d after sweeps, want %d", c.sizeBytes(), want)
+	}
+}
+
+// A hit returns the exact stored bytes (the byte-identity guarantee is
+// the whole point of an exact-key cache).
+func TestCacheHitReturnsStoredBytes(t *testing.T) {
+	c := newFrameCache(1 << 20)
+	e := entryFor("cube", "bs", 42, 64)
+	for i := range e.gray {
+		e.gray[i] = byte(i * 7)
+	}
+	c.put(e)
+	got, ok := c.get(e.key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	for i := range e.gray {
+		if got.gray[i] != byte(i*7) {
+			t.Fatalf("byte %d differs: %d != %d", i, got.gray[i], byte(i*7))
+		}
+	}
+	if fmt.Sprintf("%p", got.gray) != fmt.Sprintf("%p", e.gray) {
+		t.Error("hit copied the payload; entries should be shared read-only")
+	}
+}

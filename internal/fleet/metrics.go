@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a Prometheus-style cumulative latency histogram (same
+// shape as renderd's; kept local because the bucket math is 40 lines
+// and the two services version their metrics independently).
+type histogram struct {
+	buckets []float64 // upper bounds, seconds, ascending; +Inf implicit
+
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]int64, len(buckets)+1)}
+}
+
+func (h *histogram) observe(s float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.buckets, s)
+	h.counts[i]++
+	h.sum += s
+	h.count++
+	h.mu.Unlock()
+}
+
+func (h *histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	cum := int64(0)
+	for i, ub := range h.buckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum)
+	}
+	cum += counts[len(h.buckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// metrics is the gateway's observability surface: cache effectiveness,
+// hedging activity, cross-replica retries, and per-replica traffic
+// gauges, exposed in Prometheus text format on the HTTP sidecar.
+type metrics struct {
+	requests   atomic.Int64 // requests accepted (any outcome)
+	errored    atomic.Int64 // requests answered with a typed error
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	cacheEvict atomic.Int64
+	hedges     atomic.Int64 // hedged dispatches issued
+	hedgeWins  atomic.Int64 // requests won by the hedge, not the primary
+	retries    atomic.Int64 // cross-replica retries after a failed dispatch
+
+	latency *histogram
+}
+
+func newFleetMetrics() *metrics {
+	return &metrics{
+		latency: newHistogram([]float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}),
+	}
+}
+
+// ReplicaStats is one replica's slice of a Stats snapshot.
+type ReplicaStats struct {
+	// Addr is the replica's frame-protocol address.
+	Addr string `json:"addr"`
+	// Frames counts successful dispatches served by this replica.
+	Frames int64 `json:"frames"`
+	// Errors counts failed dispatches to this replica.
+	Errors int64 `json:"errors"`
+	// HedgeWins counts requests this replica won as the hedge target.
+	HedgeWins int64 `json:"hedge_wins"`
+	// Outstanding is the replica's current in-flight dispatch count.
+	Outstanding int64 `json:"outstanding"`
+	// P99MS is the replica's rolling-window p99 dispatch latency.
+	P99MS float64 `json:"p99_ms"`
+	// WorldRestarts is the replica's supervisor restart count
+	// (in-process replicas only).
+	WorldRestarts int64 `json:"world_restarts"`
+	// Degraded reports the replica's world is down and rebuilding
+	// (in-process replicas only).
+	Degraded bool `json:"degraded"`
+	// Suspect reports the replica is in its post-failure cooldown.
+	Suspect bool `json:"suspect"`
+}
+
+// Stats is a point-in-time snapshot of the gateway, for load harnesses
+// and tests (the HTTP sidecar exposes the same numbers as /metrics).
+type Stats struct {
+	Requests       int64          `json:"requests"`
+	Errors         int64          `json:"errors"`
+	CacheHits      int64          `json:"cache_hits"`
+	CacheMisses    int64          `json:"cache_misses"`
+	CacheEvictions int64          `json:"cache_evictions"`
+	CacheBytes     int64          `json:"cache_bytes"`
+	CacheEntries   int            `json:"cache_entries"`
+	HedgesIssued   int64          `json:"hedges_issued"`
+	HedgeWins      int64          `json:"hedge_wins"`
+	Retries        int64          `json:"retries"`
+	Replicas       []ReplicaStats `json:"replicas"`
+}
+
+// Stats returns a snapshot of the gateway's counters and per-replica
+// state.
+func (g *Gateway) Stats() Stats {
+	s := Stats{
+		Requests:       g.met.requests.Load(),
+		Errors:         g.met.errored.Load(),
+		CacheHits:      g.met.cacheHits.Load(),
+		CacheMisses:    g.met.cacheMiss.Load(),
+		CacheEvictions: g.met.cacheEvict.Load(),
+		HedgesIssued:   g.met.hedges.Load(),
+		HedgeWins:      g.met.hedgeWins.Load(),
+		Retries:        g.met.retries.Load(),
+	}
+	if g.cache != nil {
+		g.cacheMu.Lock()
+		s.CacheBytes = g.cache.sizeBytes()
+		s.CacheEntries = g.cache.entries()
+		g.cacheMu.Unlock()
+	}
+	now := time.Now()
+	for _, r := range g.replicas {
+		p99, _ := r.win.p99()
+		s.Replicas = append(s.Replicas, ReplicaStats{
+			Addr:          r.addr,
+			Frames:        r.frames.Load(),
+			Errors:        r.errs.Load(),
+			HedgeWins:     r.hedgesWon.Load(),
+			Outstanding:   r.outstanding.Load(),
+			P99MS:         float64(p99) / 1e6,
+			WorldRestarts: r.restarts(),
+			Degraded:      r.degraded(),
+			Suspect:       r.isSuspect(now),
+		})
+	}
+	return s
+}
+
+// writeProm renders the gateway metrics in Prometheus text format.
+func (g *Gateway) writeProm(w io.Writer) {
+	s := g.Stats()
+	fmt.Fprintf(w, "# HELP fleet_requests_total Requests accepted by the gateway.\n")
+	fmt.Fprintf(w, "# TYPE fleet_requests_total counter\n")
+	fmt.Fprintf(w, "fleet_requests_total %d\n", s.Requests)
+	fmt.Fprintf(w, "# HELP fleet_request_errors_total Requests answered with a typed error.\n")
+	fmt.Fprintf(w, "# TYPE fleet_request_errors_total counter\n")
+	fmt.Fprintf(w, "fleet_request_errors_total %d\n", s.Errors)
+	fmt.Fprintf(w, "# HELP fleet_cache_requests_total Frame cache lookups, by outcome.\n")
+	fmt.Fprintf(w, "# TYPE fleet_cache_requests_total counter\n")
+	fmt.Fprintf(w, "fleet_cache_requests_total{outcome=\"hit\"} %d\n", s.CacheHits)
+	fmt.Fprintf(w, "fleet_cache_requests_total{outcome=\"miss\"} %d\n", s.CacheMisses)
+	fmt.Fprintf(w, "# HELP fleet_cache_evictions_total Cache entries evicted under the byte budget.\n")
+	fmt.Fprintf(w, "# TYPE fleet_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "fleet_cache_evictions_total %d\n", s.CacheEvictions)
+	fmt.Fprintf(w, "# HELP fleet_cache_bytes Bytes held by the frame cache.\n")
+	fmt.Fprintf(w, "# TYPE fleet_cache_bytes gauge\n")
+	fmt.Fprintf(w, "fleet_cache_bytes %d\n", s.CacheBytes)
+	fmt.Fprintf(w, "# HELP fleet_cache_entries Entries held by the frame cache.\n")
+	fmt.Fprintf(w, "# TYPE fleet_cache_entries gauge\n")
+	fmt.Fprintf(w, "fleet_cache_entries %d\n", s.CacheEntries)
+	fmt.Fprintf(w, "# HELP fleet_hedges_total Hedged dispatches issued after a request exceeded its replica's rolling p99.\n")
+	fmt.Fprintf(w, "# TYPE fleet_hedges_total counter\n")
+	fmt.Fprintf(w, "fleet_hedges_total %d\n", s.HedgesIssued)
+	fmt.Fprintf(w, "# HELP fleet_hedge_wins_total Requests whose hedge replied before the primary dispatch.\n")
+	fmt.Fprintf(w, "# TYPE fleet_hedge_wins_total counter\n")
+	fmt.Fprintf(w, "fleet_hedge_wins_total %d\n", s.HedgeWins)
+	fmt.Fprintf(w, "# HELP fleet_retries_total Cross-replica retries after a retryable dispatch failure.\n")
+	fmt.Fprintf(w, "# TYPE fleet_retries_total counter\n")
+	fmt.Fprintf(w, "fleet_retries_total %d\n", s.Retries)
+
+	fmt.Fprintf(w, "# HELP fleet_replica_frames_total Successful dispatches per replica.\n")
+	fmt.Fprintf(w, "# TYPE fleet_replica_frames_total counter\n")
+	for i, r := range s.Replicas {
+		fmt.Fprintf(w, "fleet_replica_frames_total{replica=\"%d\"} %d\n", i, r.Frames)
+	}
+	fmt.Fprintf(w, "# HELP fleet_replica_errors_total Failed dispatches per replica.\n")
+	fmt.Fprintf(w, "# TYPE fleet_replica_errors_total counter\n")
+	for i, r := range s.Replicas {
+		fmt.Fprintf(w, "fleet_replica_errors_total{replica=\"%d\"} %d\n", i, r.Errors)
+	}
+	fmt.Fprintf(w, "# HELP fleet_replica_outstanding In-flight dispatches per replica.\n")
+	fmt.Fprintf(w, "# TYPE fleet_replica_outstanding gauge\n")
+	for i, r := range s.Replicas {
+		fmt.Fprintf(w, "fleet_replica_outstanding{replica=\"%d\"} %d\n", i, r.Outstanding)
+	}
+	fmt.Fprintf(w, "# HELP fleet_replica_p99_seconds Rolling-window p99 dispatch latency per replica (hedge threshold).\n")
+	fmt.Fprintf(w, "# TYPE fleet_replica_p99_seconds gauge\n")
+	for i, r := range s.Replicas {
+		fmt.Fprintf(w, "fleet_replica_p99_seconds{replica=\"%d\"} %g\n", i, r.P99MS/1e3)
+	}
+	fmt.Fprintf(w, "# HELP fleet_replica_degraded Whether the replica's world is down and rebuilding (in-process replicas).\n")
+	fmt.Fprintf(w, "# TYPE fleet_replica_degraded gauge\n")
+	for i, r := range s.Replicas {
+		fmt.Fprintf(w, "fleet_replica_degraded{replica=\"%d\"} %d\n", i, b2i(r.Degraded))
+	}
+	fmt.Fprintf(w, "# HELP fleet_replica_world_restarts_total World restarts per in-process replica.\n")
+	fmt.Fprintf(w, "# TYPE fleet_replica_world_restarts_total counter\n")
+	for i, r := range s.Replicas {
+		fmt.Fprintf(w, "fleet_replica_world_restarts_total{replica=\"%d\"} %d\n", i, r.WorldRestarts)
+	}
+
+	fmt.Fprintf(w, "# HELP fleet_request_latency_seconds Gateway-side request latency (cache hits included).\n")
+	fmt.Fprintf(w, "# TYPE fleet_request_latency_seconds histogram\n")
+	g.met.latency.write(w, "fleet_request_latency_seconds")
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

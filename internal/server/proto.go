@@ -27,6 +27,11 @@ const (
 	MaxReplyFrame   = 1 << 28
 )
 
+// DefaultMethod is the compositing method used when a request leaves
+// Method empty. Layers that key on the resolved method (the fleet
+// gateway's frame cache) normalize against it.
+const DefaultMethod = "bsbrc"
+
 // Request asks for one frame.
 type Request struct {
 	// Dataset is a built-in workload name (engine_low, engine_high,
@@ -91,6 +96,17 @@ type FrameStats struct {
 	// this frame (ranks that finish after the reply was sent may be
 	// missing; the /metrics total is exact).
 	WireBytes int64 `json:"wire_bytes"`
+
+	// Replica is the 1-based index of the fleet replica that rendered
+	// this frame; 0 when the frame was served by a standalone renderd or
+	// from the gateway's frame cache. Set only by the fleet gateway.
+	Replica int `json:"replica,omitempty"`
+	// Hedged reports that the fleet gateway issued a hedged dispatch to
+	// a second replica for this request.
+	Hedged bool `json:"hedged,omitempty"`
+	// Cached reports that the reply bytes came from the gateway's
+	// camera-quantized frame cache without touching a world.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // WriteFrame writes one length-prefixed frame.

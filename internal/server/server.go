@@ -204,6 +204,31 @@ func (s *Server) WorldRestarts() int64 { return s.restarts.Load() }
 // rebuilt (requests queue until it returns).
 func (s *Server) Degraded() bool { return s.degraded.Load() }
 
+// Stats is a point-in-time snapshot of one server's serving state, for
+// layers that embed renderd instances (the fleet gateway's per-replica
+// gauges) rather than scraping /metrics over HTTP.
+type Stats struct {
+	// QueueLen is the number of admitted requests waiting for dispatch.
+	QueueLen int
+	// Inflight is the number of frames inside the render→composite
+	// pipeline.
+	Inflight int64
+	// WorldRestarts counts rank worlds torn down and rebuilt.
+	WorldRestarts int64
+	// Degraded reports the rank world is down and being rebuilt.
+	Degraded bool
+}
+
+// Stats returns a snapshot of the server's serving state.
+func (s *Server) Stats() Stats {
+	return Stats{
+		QueueLen:      len(s.queue),
+		Inflight:      s.met.inflight.Load(),
+		WorldRestarts: s.restarts.Load(),
+		Degraded:      s.degraded.Load(),
+	}
+}
+
 // Start builds the resident world, spawns the rank pipelines and begins
 // serving on cfg.Addr (and cfg.HTTPAddr when set).
 func Start(cfg Config) (*Server, error) {
@@ -462,7 +487,7 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 		RenderOpts: render.Options{Shaded: req.Shaded, Workers: s.cfg.Workers},
 	}
 	if cfg.Method == "" {
-		cfg.Method = "bsbrc"
+		cfg.Method = DefaultMethod
 	}
 	if autotune.IsAuto(cfg.Method) {
 		// The server-wide selector resolves "auto" at plan time (inside
