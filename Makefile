@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./internal/render/ ./internal/core/ ./internal/mp/ \
 		./internal/mpnet/ ./internal/server/ ./internal/faultinject/ \
-		./internal/client/ ./internal/fleet/
+		./internal/client/ ./internal/fleet/ ./internal/trace/
 
 # chaos drives an in-process renderd through injected connection resets
 # with a retrying client: the run fails only if a configuration cannot

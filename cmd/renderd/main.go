@@ -7,6 +7,7 @@
 //	renderd -listen 127.0.0.1:7171 -metrics-addr 127.0.0.1:7172 -p 8 &
 //	curl -s http://127.0.0.1:7172/metrics | grep renderd_frames_total
 //	curl -s http://127.0.0.1:7172/debug/trace/last > frame.json  # Perfetto
+//	curl -s http://127.0.0.1:7172/debug/flight                   # recent slow/failed frames
 //
 // Requests are made with the internal/client library (see
 // cmd/servebench for a load-driving example). SIGINT/SIGTERM drain the
@@ -32,7 +33,8 @@ var (
 	listen      = flag.String("listen", "127.0.0.1:7171", "frame-protocol listen address")
 	metricsAddr = flag.String("metrics-addr", "127.0.0.1:7172", "observability sidecar address serving /healthz, /metrics, /debug/pprof/ and /debug/trace/last; empty disables")
 	httpAddr    = flag.String("http", "", "alias for -metrics-addr (kept for compatibility)")
-	noTrace     = flag.Bool("no-trace", false, "disable the per-frame span recorder (also empties /debug/trace/last and the phase histograms)")
+	noTrace     = flag.Bool("no-trace", false, "disable the per-frame span recorder (also empties /debug/trace/last, /debug/flight and the phase histograms)")
+	flightSize  = flag.Int("flight", 0, "frame flight recorder capacity: the last N slow/failed frames retained with span trees at /debug/flight (0: 64)")
 	world       = flag.String("world", "mp", "resident rank pool kind: mp (in-process) or mpnet (TCP)")
 	addrs       = flag.String("world-addrs", "", "comma-separated mpnet rank addresses (default: loopback ephemeral)")
 	p           = flag.Int("p", 4, "resident ranks")
@@ -86,6 +88,7 @@ func run() error {
 		Workers:         *workers,
 		Profile:         prof,
 		DisableTracing:  *noTrace,
+		FlightSize:      *flightSize,
 	})
 	if err != nil {
 		return err
@@ -93,7 +96,7 @@ func run() error {
 	fmt.Printf("renderd: serving frames on %s (world=%s, P=%d, queue=%d, inflight=%d)\n",
 		srv.Addr(), *world, *p, *queue, *inflight)
 	if a := srv.HTTPAddr(); a != nil {
-		fmt.Printf("renderd: /healthz, /metrics, /debug/pprof/, /debug/trace/last and /debug/autotune on http://%s\n", a)
+		fmt.Printf("renderd: /healthz, /metrics, /debug/pprof/, /debug/trace/last, /debug/flight and /debug/autotune on http://%s\n", a)
 	}
 
 	sig := make(chan os.Signal, 1)

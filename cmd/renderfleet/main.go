@@ -9,6 +9,7 @@
 //	renderfleet -listen 127.0.0.1:7261 -metrics-addr 127.0.0.1:7262 -replicas 2 -p 4 &
 //	curl -s http://127.0.0.1:7262/metrics | grep fleet_cache
 //	curl -s 'http://127.0.0.1:7262/cache/invalidate?dataset=cube'
+//	curl -s http://127.0.0.1:7262/debug/flight  # recent slow/failed/hedged requests
 //
 // Replicas are in-process by default (each its own supervised rank
 // world); -attach points the gateway at externally-run renderd
@@ -36,7 +37,7 @@ import (
 
 var (
 	listen      = flag.String("listen", "127.0.0.1:7261", "frame-protocol listen address")
-	metricsAddr = flag.String("metrics-addr", "127.0.0.1:7262", "observability sidecar address serving /healthz, /metrics and /cache/invalidate; empty disables")
+	metricsAddr = flag.String("metrics-addr", "127.0.0.1:7262", "observability sidecar address serving /healthz, /metrics, /cache/invalidate, /debug/pprof/ and /debug/flight; empty disables")
 	replicas    = flag.Int("replicas", 2, "in-process renderd replicas (ignored with -attach)")
 	attach      = flag.String("attach", "", "comma-separated addresses of externally-run renderd processes to route to instead of starting in-process replicas")
 	pList       = flag.String("p", "4", "resident ranks per replica: one value for all, or a comma-separated per-replica list")
@@ -52,6 +53,8 @@ var (
 	quant       = flag.Float64("quant", 0, "camera quantization step in degrees for cache keys (0: 0.25)")
 	hedgeMin    = flag.Duration("hedge-min", 0, "floor on the hedge trigger delay (0: 10ms)")
 	noHedge     = flag.Bool("no-hedge", false, "disable hedged dispatch")
+	noTrace     = flag.Bool("no-trace", false, "disable request tracing at the gateway (no trace propagation to replicas, no merged span trees, no /debug/flight)")
+	flightSize  = flag.Int("flight", 0, "flight recorder capacity: the last N slow/failed/hedged requests retained with merged span trees at /debug/flight (0: 64)")
 	drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 )
 
@@ -141,6 +144,8 @@ func run() error {
 		HedgeMin:        *hedgeMin,
 		HedgeDisabled:   *noHedge,
 		DefaultDeadline: *deadline,
+		TracingDisabled: *noTrace,
+		FlightSize:      *flightSize,
 	})
 	if err != nil {
 		return err
@@ -152,7 +157,7 @@ func run() error {
 	fmt.Printf("renderfleet: serving frames on %s (%s, cache=%v, hedge=%v)\n",
 		g.Addr(), mode, !*noCache, !*noHedge)
 	if a := g.HTTPAddr(); a != nil {
-		fmt.Printf("renderfleet: /healthz, /metrics and /cache/invalidate on http://%s\n", a)
+		fmt.Printf("renderfleet: /healthz, /metrics, /cache/invalidate, /debug/pprof/ and /debug/flight on http://%s\n", a)
 	}
 
 	sig := make(chan os.Signal, 1)

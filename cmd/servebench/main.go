@@ -52,6 +52,13 @@ type record struct {
 	P99MS     float64 `json:"p99_ms"`
 	WireBytes int64   `json:"wire_bytes_per_frame"`
 
+	// Server-side decomposition of the latency, averaged over successful
+	// frames: time spent queued behind admission control vs. in the
+	// render/composite pipeline (from FrameStats on each reply). Their
+	// gap to P50MS is transport + client overhead.
+	QueueMS  float64 `json:"queue_ms_avg"`
+	RenderMS float64 `json:"render_ms_avg"`
+
 	// Chaos-mode extras: frames that exhausted their retry budget and
 	// how many times the supervisor rebuilt the rank world.
 	Failed        int   `json:"failed_frames,omitempty"`
@@ -78,8 +85,8 @@ func run() error {
 				return fmt.Errorf("P=%d method=%s: %w", p, method, err)
 			}
 			records = append(records, rec)
-			line := fmt.Sprintf("P=%d %-6s %6.2f frames/s  p50 %6.1f ms  p99 %6.1f ms",
-				rec.P, rec.Method, rec.FPS, rec.P50MS, rec.P99MS)
+			line := fmt.Sprintf("P=%d %-6s %6.2f frames/s  p50 %6.1f ms  p99 %6.1f ms  queue %5.1f ms  render %5.1f ms",
+				rec.P, rec.Method, rec.FPS, rec.P50MS, rec.P99MS, rec.QueueMS, rec.RenderMS)
 			if *chaos {
 				line += fmt.Sprintf("  world restarts %d  failed frames %d", rec.WorldRestarts, rec.Failed)
 			}
@@ -137,6 +144,7 @@ func bench(p int, method string) (record, error) {
 
 	var latencies []time.Duration
 	var wire int64
+	var queueMS, renderMS float64
 	var failed int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -158,6 +166,8 @@ func bench(p int, method string) (record, error) {
 			mu.Lock()
 			latencies = append(latencies, time.Since(t0))
 			wire += f.Stats.WireBytes
+			queueMS += f.Stats.QueueMS
+			renderMS += f.Stats.RenderMS
 			mu.Unlock()
 		}()
 	}
@@ -189,6 +199,8 @@ func bench(p int, method string) (record, error) {
 		P50MS:         quantile(0.50),
 		P99MS:         quantile(0.99),
 		WireBytes:     wire / int64(len(latencies)),
+		QueueMS:       queueMS / float64(len(latencies)),
+		RenderMS:      renderMS / float64(len(latencies)),
 		Failed:        failed,
 		WorldRestarts: srv.WorldRestarts(),
 	}, nil

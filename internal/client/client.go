@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"sortlast/internal/server"
+	"sortlast/internal/trace"
 )
 
 // Sentinel errors for the server's typed reply codes.
@@ -80,6 +81,14 @@ type Frame struct {
 	// Gray is the row-major 8-bit image, Width*Height bytes.
 	Gray  []byte
 	Stats server.FrameStats
+
+	// Trace is the server's span tree for this request, present only
+	// when req.Trace asked for sampling (trace.NewContext). Against a
+	// fleet gateway this is the merged multi-process trace — gateway
+	// decisions plus every dispatch attempt's replica spans. Wrap it
+	// with trace.Nest to put the client-side round trip on top, or feed
+	// it to (*trace.Wire).WritePerfetto directly.
+	Trace *trace.Wire
 }
 
 // At returns the gray value at (x, y).
@@ -283,7 +292,7 @@ func roundTrip(ctx context.Context, conn net.Conn, req server.Request) (*Frame, 
 		return nil, fmt.Errorf("renderd: %d pixel bytes for a %dx%d frame",
 			len(gray), resp.Width, resp.Height)
 	}
-	return &Frame{Width: resp.Width, Height: resp.Height, Gray: gray, Stats: resp.Stats}, nil
+	return &Frame{Width: resp.Width, Height: resp.Height, Gray: gray, Stats: resp.Stats, Trace: resp.Trace}, nil
 }
 
 func (c *Client) conn(ctx context.Context) (net.Conn, error) {

@@ -32,11 +32,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"sortlast/internal/client"
 	"sortlast/internal/server"
+	"sortlast/internal/trace"
 )
 
 // Config describes one gateway.
@@ -77,6 +79,15 @@ type Config struct {
 	// PoolConns sizes each replica's client connection pool. Zero means
 	// 64.
 	PoolConns int
+
+	// TracingDisabled turns off the gateway's request tracing: no trace
+	// contexts are propagated to replicas, no merged span trees are
+	// returned to sampled callers, and the flight recorder is off.
+	TracingDisabled bool
+	// FlightSize bounds the gateway's frame flight recorder (last N
+	// interesting requests with their merged span trees, served at
+	// /debug/flight). Zero means trace.DefaultFlightSize.
+	FlightSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +136,11 @@ type Gateway struct {
 	cacheMu sync.Mutex
 	cache   *frameCache // nil when disabled
 
+	// flight retains the merged span trees of the last N interesting
+	// requests (errors, hedges, over-p99), served at /debug/flight. Nil
+	// when tracing is disabled.
+	flight *trace.Flight
+
 	ln      net.Listener
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -160,6 +176,10 @@ func Start(cfg Config) (*Gateway, error) {
 	if cfg.CacheBytes > 0 {
 		g.cache = newFrameCache(cfg.CacheBytes)
 	}
+	if !cfg.TracingDisabled {
+		g.flight = trace.NewFlight(cfg.FlightSize)
+		g.met.flightLen = g.flight.Len
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		g.stopReplicas(context.Background())
@@ -178,6 +198,15 @@ func Start(cfg Config) (*Gateway, error) {
 		mux.HandleFunc("/healthz", g.handleHealthz)
 		mux.HandleFunc("/metrics", g.handleMetrics)
 		mux.HandleFunc("/cache/invalidate", g.handleInvalidate)
+		mux.Handle("/debug/flight", g.flight) // nil-safe: answers 404 when disabled
+		// Explicit pprof routes, matching renderd's sidecar: the gateway
+		// uses its own mux, so the net/http/pprof init() registrations on
+		// DefaultServeMux don't apply.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		g.httpSrv = &http.Server{Handler: mux}
 		go g.httpSrv.Serve(httpLn)
 	}
@@ -296,20 +325,31 @@ func (g *Gateway) serve(req server.Request) (*server.Response, []byte) {
 	g.met.requests.Add(1)
 	t0 := time.Now()
 	key := quantKey(req, g.cfg.QuantDeg)
+	rt := g.newReqTrace(req.Trace, t0)
+	detail := reqDetail(req)
 
 	if g.cache != nil {
 		g.cacheMu.Lock()
 		e, ok := g.cache.get(key)
 		g.cacheMu.Unlock()
 		if ok {
+			total := time.Since(t0)
 			g.met.cacheHits.Add(1)
-			g.met.latency.observe(time.Since(t0).Seconds())
-			return &server.Response{
+			g.met.latency.observeTraced(total.Seconds(), uint64(rt.traceID()))
+			rt.finish(total)
+			g.observeFlight(rt, "ok", detail, total, false, true)
+			resp := &server.Response{
 				OK: true, Width: e.width, Height: e.height,
-				Stats: server.FrameStats{Cached: true, TotalMS: float64(time.Since(t0)) / 1e6},
-			}, e.gray
+				Stats: server.FrameStats{Cached: true, TotalMS: float64(total) / 1e6,
+					TraceID: rt.traceID().String()},
+			}
+			if rt.wantsReply() {
+				resp.Trace = rt.wire()
+			}
+			return resp, e.gray
 		}
 		g.met.cacheMiss.Add(1)
+		rt.cacheLookup(time.Since(t0))
 	}
 
 	deadline := g.cfg.DefaultDeadline
@@ -319,10 +359,15 @@ func (g *Gateway) serve(req server.Request) (*server.Response, []byte) {
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 
-	f, idx, hedged, err := g.dispatch(ctx, req, key)
+	f, idx, hedged, err := g.dispatch(ctx, req, key, rt)
+	total := time.Since(t0)
+	rt.finish(total)
 	if err != nil {
 		g.met.errored.Add(1)
-		return errorResponse(err), nil
+		resp := errorResponse(err)
+		resp.Stats.TraceID = rt.traceID().String()
+		g.observeFlight(rt, failCode(resp.Code), detail, total, hedged, false)
+		return resp, nil
 	}
 	g.router.remember(key, idx, time.Now())
 	if g.cache != nil {
@@ -332,12 +377,53 @@ func (g *Gateway) serve(req server.Request) (*server.Response, []byte) {
 		g.cacheMu.Unlock()
 		g.met.cacheEvict.Add(int64(evicted))
 	}
-	g.met.latency.observe(time.Since(t0).Seconds())
+	g.met.latency.observeTraced(total.Seconds(), uint64(rt.traceID()))
+	g.observeFlight(rt, "ok", detail, total, hedged, false)
 	resp := &server.Response{OK: true, Width: f.Width, Height: f.Height, Stats: f.Stats}
 	resp.Stats.Replica = idx + 1
 	resp.Stats.Hedged = hedged
-	resp.Stats.TotalMS = float64(time.Since(t0)) / 1e6
+	resp.Stats.TotalMS = float64(total) / 1e6
+	resp.Stats.TraceID = rt.traceID().String()
+	if rt.wantsReply() {
+		resp.Trace = rt.wire()
+	}
 	return resp, f.Gray
+}
+
+// reqDetail is the flight-recorder label for one request.
+func reqDetail(req server.Request) string {
+	method := req.Method
+	if method == "" {
+		method = server.DefaultMethod
+	}
+	return fmt.Sprintf("%s %dx%d %s", method, req.Width, req.Height, req.Dataset)
+}
+
+// failCode normalizes an empty reply code for flight-entry outcomes.
+func failCode(code string) string {
+	if code == "" {
+		return server.CodeInternal
+	}
+	return code
+}
+
+// observeFlight offers one finished request to the gateway's flight
+// recorder. The span tree is built lazily at export time, so a hedge
+// loser reaped after this call still shows up in the retained trace.
+func (g *Gateway) observeFlight(rt *reqTrace, outcome, detail string, total time.Duration, hedged, cached bool) {
+	if g.flight == nil || rt == nil {
+		return
+	}
+	g.flight.Observe(trace.FlightEntry{
+		TraceID: rt.traceID().String(),
+		At:      time.Now(),
+		Latency: total,
+		Outcome: outcome,
+		Hedged:  hedged,
+		Cached:  cached,
+		Detail:  detail,
+		Trace:   rt.wire,
+	})
 }
 
 // errorResponse maps a dispatch error onto the wire's typed reply. A
@@ -370,7 +456,7 @@ type result struct {
 // replica after a retryable failure. Each replica is tried at most once
 // per request. It returns the winning frame and replica index, and
 // whether a hedge was issued.
-func (g *Gateway) dispatch(ctx context.Context, req server.Request, key cacheKey) (*client.Frame, int, bool, error) {
+func (g *Gateway) dispatch(ctx context.Context, req server.Request, key cacheKey, rt *reqTrace) (*client.Frame, int, bool, error) {
 	tried := make(map[int]bool, len(g.replicas))
 	hedgeIdx := map[int]bool{}
 	resCh := make(chan result, len(g.replicas))
@@ -379,7 +465,7 @@ func (g *Gateway) dispatch(ctx context.Context, req server.Request, key cacheKey
 	if primary < 0 {
 		return nil, 0, false, fmt.Errorf("fleet: no replicas available")
 	}
-	g.send(ctx, primary, req, resCh)
+	g.send(ctx, primary, req, resCh, rt, "primary")
 	tried[primary] = true
 	outstanding := 1
 	hedged := false
@@ -408,7 +494,7 @@ func (g *Gateway) dispatch(ctx context.Context, req server.Request, key cacheKey
 			g.replicas[r.idx].suspect(time.Now(), g.cfg.SuspectCooldown)
 			if next := g.pick(key, tried); next >= 0 {
 				g.met.retries.Add(1)
-				g.send(ctx, next, req, resCh)
+				g.send(ctx, next, req, resCh, rt, "retry")
 				tried[next] = true
 				outstanding++
 			} else if outstanding == 0 {
@@ -422,7 +508,7 @@ func (g *Gateway) dispatch(ctx context.Context, req server.Request, key cacheKey
 				hedged = true
 				hedgeIdx[next] = true
 				g.met.hedges.Add(1)
-				g.send(ctx, next, req, resCh)
+				g.send(ctx, next, req, resCh, rt, "hedge")
 				tried[next] = true
 				outstanding++
 			}
@@ -435,24 +521,43 @@ func (g *Gateway) dispatch(ctx context.Context, req server.Request, key cacheKey
 // send dispatches req to replica idx in its own goroutine. The replica
 // does its own bookkeeping (outstanding, latency window, counters), so
 // a hedge loser finishing after the winner returned still lands its
-// numbers.
-func (g *Gateway) send(ctx context.Context, idx int, req server.Request, ch chan<- result) {
+// numbers — and its trace attempt, which the flight recorder's lazy
+// export picks up even after the winner's reply went out.
+func (g *Gateway) send(ctx context.Context, idx int, req server.Request, ch chan<- result, rt *reqTrace, kind string) {
 	r := g.replicas[idx]
 	r.outstanding.Add(1)
 	g.sendWG.Add(1)
+	// req is a copy: the attempt-specific trace context never leaks into
+	// a sibling dispatch.
+	req.Trace = rt.childContext()
+	a := rt.beginAttempt(idx, kind)
 	go func() {
 		defer g.sendWG.Done()
 		defer r.outstanding.Add(-1)
 		t0 := time.Now()
 		f, err := r.cl.Render(ctx, req)
 		if err == nil {
+			rt.endAttempt(a, f.Trace, "")
 			r.win.observe(time.Since(t0))
 			r.frames.Add(1)
 		} else {
+			rt.endAttempt(a, nil, errCode(err))
 			r.errs.Add(1)
 		}
 		ch <- result{f: f, err: err, idx: idx}
 	}()
+}
+
+// errCode names a dispatch error for the attempt span's outcome label.
+func errCode(err error) string {
+	var typed *client.Error
+	if errors.As(err, &typed) {
+		return typed.Code
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return "cancelled"
+	}
+	return "transport_error"
 }
 
 // pick scores the replicas not yet tried for this request and returns

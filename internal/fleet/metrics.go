@@ -15,37 +15,68 @@ import (
 type histogram struct {
 	buckets []float64 // upper bounds, seconds, ascending; +Inf implicit
 
-	mu     sync.Mutex
-	counts []int64
-	sum    float64
-	count  int64
+	mu        sync.Mutex
+	counts    []int64
+	sum       float64
+	count     int64
+	exemplars []exemplar // per bucket (incl. +Inf): last traced observation
+}
+
+// exemplar links one histogram bucket to the trace of its most recent
+// traced observation (OpenMetrics exemplar). A zero id means none yet.
+type exemplar struct {
+	id  uint64
+	val float64
 }
 
 func newHistogram(buckets []float64) *histogram {
-	return &histogram{buckets: buckets, counts: make([]int64, len(buckets)+1)}
+	return &histogram{
+		buckets:   buckets,
+		counts:    make([]int64, len(buckets)+1),
+		exemplars: make([]exemplar, len(buckets)+1),
+	}
 }
 
-func (h *histogram) observe(s float64) {
+func (h *histogram) observe(s float64) { h.observeTraced(s, 0) }
+
+// observeTraced records s and, when traceID is nonzero, pins it as the
+// owning bucket's exemplar.
+func (h *histogram) observeTraced(s float64, traceID uint64) {
 	h.mu.Lock()
 	i := sort.SearchFloat64s(h.buckets, s)
 	h.counts[i]++
 	h.sum += s
 	h.count++
+	if traceID != 0 {
+		h.exemplars[i] = exemplar{id: traceID, val: s}
+	}
 	h.mu.Unlock()
+}
+
+// exemplarSuffix renders one bucket's exemplar annotation, empty when
+// the bucket never saw a traced observation. Appended to the bucket's
+// own sample line, so untraced scrapes stay byte-identical to the
+// classic exposition.
+func exemplarSuffix(e exemplar) string {
+	if e.id == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%016x\"} %g", e.id, e.val)
 }
 
 func (h *histogram) write(w io.Writer, name string) {
 	h.mu.Lock()
 	counts := append([]int64(nil), h.counts...)
+	exemplars := append([]exemplar(nil), h.exemplars...)
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
 	cum := int64(0)
 	for i, ub := range h.buckets {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, fmt.Sprintf("%g", ub), cum, exemplarSuffix(exemplars[i]))
 	}
 	cum += counts[len(h.buckets)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, cum, exemplarSuffix(exemplars[len(h.buckets)]))
 	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
 	fmt.Fprintf(w, "%s_count %d\n", name, count)
 }
@@ -64,6 +95,10 @@ type metrics struct {
 	retries    atomic.Int64 // cross-replica retries after a failed dispatch
 
 	latency *histogram
+
+	// flightLen reads the flight recorder's entry count; nil when
+	// tracing is disabled.
+	flightLen func() int
 }
 
 func newFleetMetrics() *metrics {
@@ -215,6 +250,12 @@ func (g *Gateway) writeProm(w io.Writer) {
 	fmt.Fprintf(w, "# HELP fleet_request_latency_seconds Gateway-side request latency (cache hits included).\n")
 	fmt.Fprintf(w, "# TYPE fleet_request_latency_seconds histogram\n")
 	g.met.latency.write(w, "fleet_request_latency_seconds")
+
+	if g.met.flightLen != nil {
+		fmt.Fprintf(w, "# HELP fleet_flight_entries Requests retained by the flight recorder at /debug/flight.\n")
+		fmt.Fprintf(w, "# TYPE fleet_flight_entries gauge\n")
+		fmt.Fprintf(w, "fleet_flight_entries %d\n", g.met.flightLen())
+	}
 }
 
 func b2i(b bool) int {

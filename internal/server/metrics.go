@@ -16,25 +16,46 @@ import (
 // histogram is a Prometheus-style cumulative histogram: fixed upper
 // bounds, one mutex-guarded bump per observation. Bucket bounds are
 // shared by reference across instances (they are never mutated).
+// Observations may attach a trace ID; the latest per bucket is kept and
+// emitted as an OpenMetrics-style exemplar, so a spike in a latency
+// bucket links straight to a /debug/flight trace.
 type histogram struct {
 	buckets []float64 // upper bounds, seconds, ascending; +Inf implicit
 
-	mu     sync.Mutex
-	counts []int64 // len(buckets)+1
-	sum    float64
-	count  int64
+	mu        sync.Mutex
+	counts    []int64 // len(buckets)+1
+	sum       float64
+	count     int64
+	exemplars []exemplar // len(buckets)+1, zero id = none
+}
+
+// exemplar is the last traced observation that landed in one bucket.
+type exemplar struct {
+	id  uint64 // trace ID, zero = no exemplar
+	val float64
 }
 
 func newHistogram(buckets []float64) *histogram {
-	return &histogram{buckets: buckets, counts: make([]int64, len(buckets)+1)}
+	return &histogram{
+		buckets:   buckets,
+		counts:    make([]int64, len(buckets)+1),
+		exemplars: make([]exemplar, len(buckets)+1),
+	}
 }
 
-func (h *histogram) observe(s float64) {
+func (h *histogram) observe(s float64) { h.observeTraced(s, 0) }
+
+// observeTraced records an observation carrying a trace ID (zero for
+// untraced; only the bucket count moves then).
+func (h *histogram) observeTraced(s float64, traceID uint64) {
 	h.mu.Lock()
 	i := sort.SearchFloat64s(h.buckets, s)
 	h.counts[i]++
 	h.sum += s
 	h.count++
+	if traceID != 0 {
+		h.exemplars[i] = exemplar{id: traceID, val: s}
+	}
 	h.mu.Unlock()
 }
 
@@ -44,19 +65,30 @@ func (h *histogram) observe(s float64) {
 func (h *histogram) write(w io.Writer, name, labels string) {
 	h.mu.Lock()
 	counts := append([]int64(nil), h.counts...)
+	exemplars := append([]exemplar(nil), h.exemplars...)
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
 	sep := ""
 	if labels != "" {
 		sep = ","
 	}
+	// exemplarSuffix renders bucket i's exemplar in OpenMetrics form
+	// appended to the sample line ("... 12 # {trace_id="ab..."} 0.021").
+	// Untraced observations leave no exemplar, so plain Prometheus
+	// scrapers (and the exposition-validity tests) see unchanged lines.
+	exemplarSuffix := func(i int) string {
+		if exemplars[i].id == 0 {
+			return ""
+		}
+		return fmt.Sprintf(" # {trace_id=\"%016x\"} %g", exemplars[i].id, exemplars[i].val)
+	}
 	cum := int64(0)
 	for i, ub := range h.buckets {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, trimFloat(ub), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d%s\n", name, labels, sep, trimFloat(ub), cum, exemplarSuffix(i))
 	}
 	cum += counts[len(h.buckets)]
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d%s\n", name, labels, sep, cum, exemplarSuffix(len(h.buckets)))
 	if labels == "" {
 		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
 		fmt.Fprintf(w, "%s_count %d\n", name, count)
@@ -87,6 +119,10 @@ type metrics struct {
 
 	queueDepth func() int // sampled at scrape time
 
+	// flightLen samples the flight recorder's retained-entry count at
+	// scrape time; nil when the recorder is disabled.
+	flightLen func() int
+
 	// renderStats samples the server's cumulative ray-caster counters
 	// (rays, samples, macro-cell skips) at scrape time; nil when the
 	// server exposes none.
@@ -96,14 +132,24 @@ type metrics struct {
 	phases  map[string]*histogram // per-phase (slowest rank), from spans
 }
 
+// latencyBuckets covers whole-request latency from cache-hit-fast to
+// deadline-slow.
+var latencyBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// phaseBuckets resolve per-phase wall times. The fast-kernel work (PR 6)
+// pulled typical frames to ~20ms and phases well under 10ms, which the
+// old bottom bucket boundaries (1ms/2.5ms/5ms/10ms) lumped into two
+// bins; the sub-10ms ladder keeps render/composite/gather distributions
+// visible, while the upper decades still catch degraded worlds.
+var phaseBuckets = []float64{.0005, .001, .002, .004, .006, .008, .01, .015, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
 func newMetrics(queueDepth func() int) *metrics {
-	buckets := []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 	m := &metrics{
 		frames:     make(map[string]*atomic.Int64),
 		selected:   make(map[string]*atomic.Int64),
 		errors:     make(map[string]*atomic.Int64),
 		queueDepth: queueDepth,
-		latency:    newHistogram(buckets),
+		latency:    newHistogram(latencyBuckets),
 		phases:     make(map[string]*histogram),
 	}
 	for _, name := range core.Names() {
@@ -116,16 +162,18 @@ func newMetrics(queueDepth func() int) *metrics {
 		m.errors[code] = new(atomic.Int64)
 	}
 	for _, p := range phaseNames {
-		m.phases[p] = newHistogram(buckets)
+		m.phases[p] = newHistogram(phaseBuckets)
 	}
 	return m
 }
 
-func (m *metrics) frameDone(method string, latency time.Duration) {
+// frameDone records one served frame; traceID (zero if untraced) links
+// the latency observation to its trace as an exemplar.
+func (m *metrics) frameDone(method string, latency time.Duration, traceID uint64) {
 	if c := m.frames[method]; c != nil {
 		c.Add(1)
 	}
-	m.latency.observe(latency.Seconds())
+	m.latency.observeTraced(latency.Seconds(), traceID)
 }
 
 // methodSelected counts one Method "auto" frame resolved to method.
@@ -136,10 +184,10 @@ func (m *metrics) methodSelected(method string) {
 }
 
 // phaseDone records one phase's completion time (the slowest rank's
-// span total for that phase).
-func (m *metrics) phaseDone(phase string, d time.Duration) {
+// span total for that phase), with an optional exemplar trace ID.
+func (m *metrics) phaseDone(phase string, d time.Duration, traceID uint64) {
 	if h := m.phases[phase]; h != nil {
-		h.observe(d.Seconds())
+		h.observeTraced(d.Seconds(), traceID)
 	}
 }
 
@@ -178,6 +226,11 @@ func (m *metrics) WriteProm(w io.Writer) {
 	fmt.Fprintf(w, "# HELP renderd_wire_bytes_total Compositing payload bytes received across all ranks (mp message log).\n")
 	fmt.Fprintf(w, "# TYPE renderd_wire_bytes_total counter\n")
 	fmt.Fprintf(w, "renderd_wire_bytes_total %d\n", m.wire.Load())
+	if m.flightLen != nil {
+		fmt.Fprintf(w, "# HELP renderd_flight_entries Frames retained by the flight recorder (tail-sampled: errors, hedges, >= p99).\n")
+		fmt.Fprintf(w, "# TYPE renderd_flight_entries gauge\n")
+		fmt.Fprintf(w, "renderd_flight_entries %d\n", m.flightLen())
+	}
 
 	if m.renderStats != nil {
 		rs := m.renderStats()

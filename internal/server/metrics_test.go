@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -37,12 +38,12 @@ func metricName(line string) string {
 // parses as a float.
 func TestWritePromExpositionValid(t *testing.T) {
 	m := newMetrics(func() int { return 3 })
-	m.frameDone("bsbrc", 42*time.Millisecond)
-	m.frameDone("bs", 3*time.Second)
+	m.frameDone("bsbrc", 42*time.Millisecond, 0)
+	m.frameDone("bs", 3*time.Second, 0)
 	m.requestFailed(CodeOverloaded)
-	m.phaseDone("render", 10*time.Millisecond)
-	m.phaseDone("composite", 2*time.Millisecond)
-	m.phaseDone("gather", 500*time.Microsecond)
+	m.phaseDone("render", 10*time.Millisecond, 0)
+	m.phaseDone("composite", 2*time.Millisecond, 0)
+	m.phaseDone("gather", 500*time.Microsecond, 0)
 	out := scrape(t, m)
 
 	help := map[string]bool{}
@@ -163,10 +164,10 @@ func histSeries(t *testing.T, out, name, labels string) (buckets []float64, coun
 func TestWritePromHistogramMonotone(t *testing.T) {
 	m := newMetrics(func() int { return 0 })
 	for _, lat := range []time.Duration{time.Millisecond, 40 * time.Millisecond, 3 * time.Second, time.Minute} {
-		m.frameDone("bsbrc", lat)
+		m.frameDone("bsbrc", lat, 0)
 	}
-	m.phaseDone("render", 20*time.Millisecond)
-	m.phaseDone("render", 80*time.Millisecond)
+	m.phaseDone("render", 20*time.Millisecond, 0)
+	m.phaseDone("render", 80*time.Millisecond, 0)
 	out := scrape(t, m)
 
 	check := func(name, labels string, wantCount float64) {
@@ -187,4 +188,69 @@ func TestWritePromHistogramMonotone(t *testing.T) {
 	check("renderd_phase_latency_seconds", fmt.Sprintf("phase=%q,", "render"), 2)
 	check("renderd_phase_latency_seconds", fmt.Sprintf("phase=%q,", "composite"), 0)
 	check("renderd_phase_latency_seconds", fmt.Sprintf("phase=%q,", "gather"), 0)
+}
+
+// TestPhaseBucketCoverage pins the PR 6 re-tune: phases of the fast
+// kernel land at ~1–20ms, and the bucket ladder must actually resolve
+// that range instead of lumping it into the bottom two bins.
+func TestPhaseBucketCoverage(t *testing.T) {
+	// At least 6 boundaries strictly below 10ms so a sub-10ms
+	// distribution has shape.
+	below := 0
+	for _, ub := range phaseBuckets {
+		if ub < .01 {
+			below++
+		}
+	}
+	if below < 6 {
+		t.Fatalf("phase buckets have %d boundaries below 10ms, want >= 6: %v", below, phaseBuckets)
+	}
+	if !sort.Float64sAreSorted(phaseBuckets) {
+		t.Fatalf("phase buckets not ascending: %v", phaseBuckets)
+	}
+
+	// A typical fast-kernel spread must scatter across distinct buckets.
+	m := newMetrics(func() int { return 0 })
+	spread := []time.Duration{
+		800 * time.Microsecond, 1500 * time.Microsecond, 3 * time.Millisecond,
+		5 * time.Millisecond, 7 * time.Millisecond, 9 * time.Millisecond,
+		12 * time.Millisecond, 20 * time.Millisecond,
+	}
+	for _, d := range spread {
+		m.phaseDone("render", d, 0)
+	}
+	h := m.phases["render"]
+	h.mu.Lock()
+	occupied := 0
+	for _, c := range h.counts {
+		if c > 0 {
+			occupied++
+		}
+	}
+	h.mu.Unlock()
+	if occupied < 6 {
+		t.Fatalf("8-point sub-25ms spread occupies %d buckets, want >= 6 (buckets %v)", occupied, phaseBuckets)
+	}
+}
+
+// TestExemplars asserts traced observations surface as OpenMetrics
+// exemplars on the owning bucket's sample line, and untraced
+// observations leave the exposition byte-identical to the classic form.
+func TestExemplars(t *testing.T) {
+	m := newMetrics(func() int { return 0 })
+	m.frameDone("bsbrc", 42*time.Millisecond, 0)
+	if out := scrape(t, m); strings.Contains(out, "trace_id") {
+		t.Fatal("untraced observation emitted an exemplar")
+	}
+	m.frameDone("bsbrc", 42*time.Millisecond, 0xabcd)
+	out := scrape(t, m)
+	want := `le="0.05"} 2 # {trace_id="000000000000abcd"} 0.042`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar %q in:\n%s", want, out)
+	}
+	// Exactly one bucket line carries it (the owning bucket, not the
+	// cumulative tail).
+	if n := strings.Count(out, "trace_id"); n != 1 {
+		t.Fatalf("exemplar appears on %d lines, want 1", n)
+	}
 }

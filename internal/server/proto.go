@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"sortlast/internal/trace"
 )
 
 // Wire protocol of the frame service: length-prefixed frames over one
@@ -53,6 +55,13 @@ type Request struct {
 	// with CodeDeadline instead of rendering. Zero means the server
 	// default.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
+	// Trace is the distributed trace context: the caller's trace ID,
+	// parent span, and sampling decision. Nil means untraced (the server
+	// still records locally for its own flight recorder). When Sampled,
+	// the reply carries the server's span tree in Response.Trace so the
+	// caller can assemble one merged cross-process trace.
+	Trace *trace.Context `json:"trace,omitempty"`
 }
 
 // Typed error codes carried in Response.Code. The client library maps
@@ -82,6 +91,12 @@ type Response struct {
 	Height int `json:"height,omitempty"`
 
 	Stats FrameStats `json:"stats,omitempty"`
+
+	// Trace is the server's span tree for this request, present only
+	// when the request's trace context asked for sampling. Span-capped
+	// (trace.MaxWireSpans) so the reply header stays inside
+	// MaxRequestFrame.
+	Trace *trace.Wire `json:"trace,omitempty"`
 }
 
 // FrameStats reports how the frame moved through the serving pipeline.
@@ -107,6 +122,11 @@ type FrameStats struct {
 	// Cached reports that the reply bytes came from the gateway's
 	// camera-quantized frame cache without touching a world.
 	Cached bool `json:"cached,omitempty"`
+
+	// TraceID names the distributed trace this frame belongs to (hex),
+	// even when the request was unsampled: it keys the server's
+	// /debug/flight entries and the exemplars on the latency histograms.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // WriteFrame writes one length-prefixed frame.

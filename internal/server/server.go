@@ -90,9 +90,16 @@ type Config struct {
 
 	// DisableTracing turns off the per-frame span recorder. By default
 	// every frame records per-rank spans (a few hundred appends per
-	// frame), feeding the /debug/trace/last endpoint and the per-phase
-	// latency histograms on /metrics.
+	// frame), feeding the /debug/trace/last endpoint, the per-phase
+	// latency histograms on /metrics, the flight recorder, and the span
+	// trees returned to sampled requests.
 	DisableTracing bool
+
+	// FlightSize bounds the frame flight recorder: the last N
+	// interesting frames (errors, hedged, at-or-over-p99 latency) kept
+	// with their full span trees, served at /debug/flight. Zero means
+	// trace.DefaultFlightSize; tracing disabled disables it too.
+	FlightSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +127,12 @@ type job struct {
 	method   string
 	admitted time.Time
 	deadline time.Time
+
+	// id is the distributed trace identity (from the request's trace
+	// context, or minted locally so flight entries and exemplars always
+	// have a key); sampled means the reply must carry the span tree.
+	id      trace.ID
+	sampled bool
 
 	// rec is this frame's span recorder (nil when tracing is disabled).
 	// Pipelined frames overlap in the rank pool, so the recorder is
@@ -193,6 +206,11 @@ type Server struct {
 	// served by /debug/trace/last.
 	lastTrace atomic.Pointer[trace.Recorder]
 
+	// flight retains the span trees of the last N interesting frames
+	// (tail-sampled), served at /debug/flight. Nil when tracing is
+	// disabled.
+	flight *trace.Flight
+
 	stopOnce sync.Once
 }
 
@@ -259,6 +277,10 @@ func Start(cfg Config) (*Server, error) {
 	}
 	s.met = newMetrics(func() int { return len(s.queue) })
 	s.met.renderStats = s.renderStats.Snapshot
+	if !cfg.DisableTracing {
+		s.flight = trace.NewFlight(cfg.FlightSize)
+		s.met.flightLen = s.flight.Len
+	}
 
 	// The first world builds synchronously so configuration errors
 	// (unknown world kind, bad address list) fail Start; later failures
@@ -288,6 +310,7 @@ func Start(cfg Config) (*Server, error) {
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/metrics", s.handleMetrics)
 		mux.HandleFunc("/debug/trace/last", s.handleTraceLast)
+		mux.Handle("/debug/flight", s.flight) // nil-safe: answers 404 when disabled
 		mux.HandleFunc("/debug/autotune", s.handleAutotune)
 		// Explicit pprof routes: the sidecar uses its own mux, so the
 		// net/http/pprof init() registrations on DefaultServeMux don't
@@ -441,9 +464,9 @@ func (s *Server) compositeLoop(me int, run *worldRun, c mp.Comm, in <-chan rende
 			<-s.tokens
 			s.met.inflight.Add(-1)
 			if j.rec != nil {
-				s.met.phaseDone("render", j.rec.MaxTotal(trace.SpanRender))
-				s.met.phaseDone("composite", j.rec.MaxTotal(trace.SpanCompositing))
-				s.met.phaseDone("gather", j.rec.MaxTotal(trace.SpanGather))
+				s.met.phaseDone("render", j.rec.MaxTotal(trace.SpanRender), uint64(j.id))
+				s.met.phaseDone("composite", j.rec.MaxTotal(trace.SpanCompositing), uint64(j.id))
+				s.met.phaseDone("gather", j.rec.MaxTotal(trace.SpanGather), uint64(j.id))
 				s.lastTrace.Store(j.rec)
 			}
 			j.finish(reply{img: img})
@@ -513,17 +536,31 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 		// count what the selector picked.
 		s.met.methodSelected(plan.Cfg.Method)
 	}
+	// Trace identity: adopt the caller's context, or mint a local ID so
+	// flight entries and exemplars stay correlatable even for untraced
+	// requests. Sampling (returning the span tree in the reply) is only
+	// ever caller-requested.
+	id := req.Trace.Trace()
+	sampled := req.Trace != nil && req.Trace.Sampled && !s.cfg.DisableTracing
+	if id == 0 && !s.cfg.DisableTracing {
+		id = trace.NewID()
+	}
+
 	now := time.Now()
 	j := &job{
 		plan:     plan,
 		method:   plan.Cfg.Method,
 		admitted: now,
 		deadline: now.Add(deadline),
+		id:       id,
+		sampled:  sampled,
 		done:     make(chan reply, 1),
 	}
 	if !s.cfg.DisableTracing {
 		j.rec = trace.NewRecorder(s.cfg.P)
+		j.rec.SetTraceID(id)
 	}
+	detail := fmt.Sprintf("%s %dx%d %s", j.method, req.Width, req.Height, req.Dataset)
 
 	// The closed check and the enqueue are one critical section: Shutdown
 	// sets closed under the same lock before the scheduler drains the
@@ -534,6 +571,7 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 	if s.closed {
 		s.mu.Unlock()
 		s.met.requestFailed(CodeShutdown)
+		s.observeFlight(j, CodeShutdown, detail)
 		return &Response{Code: CodeShutdown, Error: "server shutting down"}, nil
 	}
 	select {
@@ -543,17 +581,23 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 		s.mu.Unlock()
 		// Admission control: reject now rather than queue unboundedly.
 		s.met.requestFailed(CodeOverloaded)
+		s.observeFlight(j, CodeOverloaded, detail)
 		return &Response{Code: CodeOverloaded,
 			Error: fmt.Sprintf("admission queue full (%d deep)", cap(s.queue))}, nil
 	}
 
 	rep := <-j.done
-	if rep.code != "" {
-		return &Response{Code: rep.code, Error: rep.err.Error()}, nil
-	}
 	total := time.Since(j.admitted)
-	s.met.frameDone(j.method, total)
-	return &Response{
+	if rep.code != "" {
+		s.observeFlight(j, rep.code, detail)
+		return &Response{
+			Code: rep.code, Error: rep.err.Error(),
+			Stats: FrameStats{TraceID: j.id.String(), TotalMS: float64(total) / 1e6},
+		}, nil
+	}
+	s.met.frameDone(j.method, total, uint64(j.id))
+	s.observeFlight(j, "ok", detail)
+	resp := &Response{
 		OK:    true,
 		Width: req.Width, Height: req.Height,
 		Stats: FrameStats{
@@ -561,8 +605,53 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 			RenderMS:  float64(j.renderNS.Load()) / 1e6,
 			TotalMS:   float64(total) / 1e6,
 			WireBytes: j.wireBytes.Load(),
+			TraceID:   j.id.String(),
 		},
-	}, rep.img
+	}
+	if j.sampled {
+		resp.Trace = s.frameWire(j, total)
+	}
+	return resp, rep.img
+}
+
+// frameWire assembles the server's span tree for one finished job: a
+// process-level track splitting the request into queue wait and
+// pipeline time (derived from the admission timestamps, so it exists
+// even for frames that failed before recording anything), plus the
+// per-rank recorder tracks.
+func (s *Server) frameWire(j *job, total time.Duration) *trace.Wire {
+	procTrack := []trace.Span{{Name: "serve", Dur: total}}
+	if !j.dispatched.IsZero() {
+		queue := j.dispatched.Sub(j.admitted)
+		if queue < 0 {
+			queue = 0
+		}
+		if queue > total {
+			queue = total
+		}
+		procTrack = append(procTrack,
+			trace.Span{Name: "queue", Dur: queue},
+			trace.Span{Name: "pipeline", Start: queue, Dur: total - queue})
+	}
+	return trace.BuildWire(j.id, "renderd", total, procTrack, j.rec)
+}
+
+// observeFlight offers one finished request to the flight recorder; the
+// span tree is built lazily at export time so retaining an entry costs
+// a closure, not a wire build.
+func (s *Server) observeFlight(j *job, outcome, detail string) {
+	if s.flight == nil {
+		return
+	}
+	total := time.Since(j.admitted)
+	s.flight.Observe(trace.FlightEntry{
+		TraceID: j.id.String(),
+		At:      time.Now(),
+		Latency: total,
+		Outcome: outcome,
+		Detail:  detail,
+		Trace:   func() *trace.Wire { return s.frameWire(j, total) },
+	})
 }
 
 func (s *Server) acceptLoop() {

@@ -87,8 +87,136 @@ func TestTracingDisabled(t *testing.T) {
 	if code, _ := httpGet(t, base+"/debug/trace/last"); code != http.StatusNotFound {
 		t.Errorf("trace endpoint with tracing disabled: status %d, want 404", code)
 	}
+	if code, _ := httpGet(t, base+"/debug/flight"); code != http.StatusNotFound {
+		t.Errorf("flight endpoint with tracing disabled: status %d, want 404", code)
+	}
 	_, metrics := httpGet(t, base+"/metrics")
 	if !strings.Contains(string(metrics), `renderd_phase_latency_seconds_count{phase="render"} 0`) {
 		t.Error("phase histogram counted a frame with tracing disabled")
+	}
+	// A sampled request against a tracing-disabled server still renders,
+	// just without a span tree.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	f, err := cl.Render(ctx2, server.Request{Dataset: "cube", Width: 32, Height: 32, Trace: trace.NewContext()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trace != nil {
+		t.Error("tracing-disabled server returned a span tree")
+	}
+}
+
+// TestSampledRequestReturnsTrace covers the tentpole's single-server
+// leg: a request carrying a sampled trace context gets the server's
+// span tree back in the reply — the renderd process with a server-level
+// queue/pipeline track plus one track per rank, all under the caller's
+// trace ID — and the same request is queryable on /debug/flight.
+func TestSampledRequestReturnsTrace(t *testing.T) {
+	srv, cl := startServer(t, server.Config{P: 4, HTTPAddr: "127.0.0.1:0"})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	tc := trace.NewContext()
+	req := server.Request{Dataset: "cube", Method: "bsbrc", Width: 64, Height: 64, Trace: tc}
+	f, err := cl.Render(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats.TraceID != tc.TraceID {
+		t.Errorf("Stats.TraceID = %q, want %q", f.Stats.TraceID, tc.TraceID)
+	}
+	w := f.Trace
+	if w == nil {
+		t.Fatal("sampled request returned no span tree")
+	}
+	if w.TraceID != tc.TraceID {
+		t.Errorf("wire trace ID = %q, want %q", w.TraceID, tc.TraceID)
+	}
+	if len(w.Procs) != 1 || w.Procs[0].Name != "renderd" {
+		t.Fatalf("procs = %+v", w.Procs)
+	}
+	tracks := map[string][]trace.WireSpan{}
+	for _, tr := range w.Procs[0].Tracks {
+		tracks[tr.Name] = tr.Spans
+	}
+	if len(tracks) != 5 { // server + 4 ranks
+		t.Fatalf("tracks = %d (%v), want 5", len(tracks), tracks)
+	}
+	names := map[string]bool{}
+	for _, s := range tracks["server"] {
+		names[s.Name] = true
+	}
+	if !names["serve"] || !names["queue"] || !names["pipeline"] {
+		t.Errorf("server track spans = %v, want serve+queue+pipeline", names)
+	}
+	rank := map[string]bool{}
+	for _, s := range tracks["rank 0"] {
+		rank[s.Name] = true
+	}
+	for _, want := range []string{trace.SpanRender, trace.SpanCompositing} {
+		if !rank[want] {
+			t.Errorf("rank 0 track missing %q (has %v)", want, rank)
+		}
+	}
+
+	// The frame shows up on /debug/flight (first frame: kept by the p99
+	// rule on an empty window) and exports as Perfetto JSON.
+	base := "http://" + srv.HTTPAddr().String()
+	code, body := httpGet(t, base+"/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("flight list: status %d", code)
+	}
+	var list struct {
+		Entries []struct {
+			TraceID string `json:"trace_id"`
+			Outcome string `json:"outcome"`
+			Reason  string `json:"reason"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("flight list JSON: %v", err)
+	}
+	found := false
+	for _, e := range list.Entries {
+		if e.TraceID == tc.TraceID {
+			found = true
+			if e.Outcome != "ok" {
+				t.Errorf("flight outcome = %q", e.Outcome)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("flight list %+v missing trace %s", list.Entries, tc.TraceID)
+	}
+	code, body = httpGet(t, base+"/debug/flight?trace="+tc.TraceID)
+	if code != http.StatusOK {
+		t.Fatalf("flight export: status %d", code)
+	}
+	var file trace.File
+	if err := json.Unmarshal(body, &file); err != nil {
+		t.Fatalf("flight export JSON: %v", err)
+	}
+	if file.TraceID != tc.TraceID || len(file.TraceEvents) == 0 {
+		t.Fatalf("flight export = traceId %q, %d events", file.TraceID, len(file.TraceEvents))
+	}
+
+	// The latency histogram carries the trace ID as an exemplar.
+	_, metrics := httpGet(t, base+"/metrics")
+	if !strings.Contains(string(metrics), `trace_id="`+tc.TraceID+`"`) {
+		t.Error("metrics missing the frame's exemplar")
+	}
+
+	// An unsampled request still gets a locally minted correlation ID
+	// but no span tree on the wire.
+	f2, err := cl.Render(ctx, server.Request{Dataset: "cube", Width: 32, Height: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Trace != nil {
+		t.Error("unsampled request returned a span tree")
+	}
+	if f2.Stats.TraceID == "" || f2.Stats.TraceID == tc.TraceID {
+		t.Errorf("unsampled Stats.TraceID = %q", f2.Stats.TraceID)
 	}
 }

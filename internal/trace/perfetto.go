@@ -22,10 +22,18 @@ type Event struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// File is the JSON-object form of the trace-event format.
+// File is the JSON-object form of the trace-event format. TraceID is
+// an extension field (Perfetto ignores unknown top-level keys) naming
+// the distributed trace the events belong to.
 type File struct {
+	TraceID         string  `json:"traceId,omitempty"`
 	TraceEvents     []Event `json:"traceEvents"`
 	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// writeTraceFile encodes one trace-event file as JSON.
+func writeTraceFile(w io.Writer, f File) error {
+	return json.NewEncoder(w).Encode(f)
 }
 
 // Events flattens the recorder into trace events, one tid per rank.
@@ -61,8 +69,7 @@ func Events(rec *Recorder) []Event {
 // WritePerfetto writes the recorder as Chrome/Perfetto trace-event
 // JSON. Open the file directly in ui.perfetto.dev or chrome://tracing.
 func WritePerfetto(w io.Writer, rec *Recorder) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(File{TraceEvents: Events(rec), DisplayTimeUnit: "ms"})
+	return writeTraceFile(w, File{TraceID: rec.TraceID().String(), TraceEvents: Events(rec), DisplayTimeUnit: "ms"})
 }
 
 // ValidateNesting checks that one rank's spans form a proper tree:

@@ -19,6 +19,7 @@ package trace
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -156,8 +157,27 @@ const spansPerRankHint = 256
 // sharing a single epoch so the tracks align. A nil *Recorder is the
 // disabled recorder: Rank returns nil and exports are empty.
 type Recorder struct {
-	epoch time.Time
-	ranks []*Rank
+	epoch   time.Time
+	ranks   []*Rank
+	traceID atomic.Uint64
+}
+
+// SetTraceID tags the recorder with the distributed trace it records
+// for. One plain store outside the rank span path: Begin/End never
+// touch it, so the zero-alloc pin is unaffected.
+func (rec *Recorder) SetTraceID(id ID) {
+	if rec == nil {
+		return
+	}
+	rec.traceID.Store(uint64(id))
+}
+
+// TraceID returns the recorder's trace identity, zero when untagged.
+func (rec *Recorder) TraceID() ID {
+	if rec == nil {
+		return 0
+	}
+	return ID(rec.traceID.Load())
 }
 
 // NewRecorder creates a recorder for a world of p ranks.
@@ -192,6 +212,7 @@ func (rec *Recorder) Reset() {
 	if rec == nil {
 		return
 	}
+	rec.traceID.Store(0)
 	for _, r := range rec.ranks {
 		r.reset()
 	}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"sync"
 	"testing"
 	"time"
 )
@@ -157,5 +158,113 @@ func TestValidateNesting(t *testing.T) {
 	}
 	if err := ValidateNesting(nil); err != nil {
 		t.Fatalf("empty span list rejected: %v", err)
+	}
+}
+
+func TestEnabledZeroAllocsWithTraceID(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts inflated under -race")
+	}
+	rec := NewRecorder(1)
+	rec.SetTraceID(NewID())
+	r := rec.Rank(0)
+	for i := 0; i < 2*spansPerRankHint; i++ {
+		r.End(r.Begin(), SpanComposite, "stage1")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.Reset()
+		rec.SetTraceID(42) // re-tag each frame, as the server does
+		for i := 0; i < spansPerRankHint; i++ {
+			r.End(r.Begin(), SpanComposite, "stage1")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("recording with a trace ID attached allocates %v per frame, want 0", allocs)
+	}
+	if rec.TraceID() != 42 {
+		t.Fatalf("trace id = %v, want 42", rec.TraceID())
+	}
+	rec.Reset()
+	if rec.TraceID() != 0 {
+		t.Fatal("Reset kept the trace id")
+	}
+}
+
+// TestConcurrentRecordersExport models hedged dispatch: two replicas
+// record the same request concurrently into separate recorders, the
+// gateway exports both as sibling attempt processes. Each track must
+// still validate and the merged export must stay well-formed while the
+// recorders are live.
+func TestConcurrentRecordersExport(t *testing.T) {
+	id := NewID()
+	recs := []*Recorder{NewRecorder(2), NewRecorder(2)}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, rec := range recs {
+		rec.SetTraceID(id)
+		for i := 0; i < rec.Size(); i++ {
+			wg.Add(1)
+			go func(r *Rank) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					m := r.Begin()
+					cm := r.Begin()
+					r.End(cm, SpanEncode, "stage1")
+					r.End(m, "stage1", "stage1")
+				}
+			}(rec.Rank(i))
+		}
+	}
+	// Export repeatedly while the ranks are still recording.
+	for iter := 0; iter < 50; iter++ {
+		wires := make([]*Wire, len(recs))
+		for i, rec := range recs {
+			wires[i] = BuildWire(id, "attempt", time.Millisecond, nil, rec)
+		}
+		merged := Nest("gateway", "request", "dispatch", 2*time.Millisecond, wires[0])
+		for _, p := range wires[1].Procs {
+			merged.Procs = append(merged.Procs, p)
+		}
+		var buf bytes.Buffer
+		if err := merged.WritePerfetto(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var f File
+		if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+			t.Fatalf("live export is not valid JSON: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// After the dust settles every rank track must be a proper tree.
+	for _, rec := range recs {
+		for _, spans := range rec.Snapshot() {
+			if err := ValidateNesting(spans); err != nil {
+				t.Fatalf("concurrent recording broke nesting: %v", err)
+			}
+		}
+	}
+}
+
+// TestSiblingAttemptsSeparateTracks pins the hedging design rule: two
+// overlapping attempts are invalid on ONE track (Perfetto renders that
+// as garbage) and must be exported as separate tracks, which the wire
+// format does by giving each attempt its own track.
+func TestSiblingAttemptsSeparateTracks(t *testing.T) {
+	primary := Span{Name: "attempt 0", Start: 0, Dur: 100 * time.Millisecond}
+	hedge := Span{Name: "attempt 1", Start: 60 * time.Millisecond, Dur: 80 * time.Millisecond}
+	if err := ValidateNesting([]Span{primary, hedge}); err == nil {
+		t.Fatal("overlapping sibling attempts accepted on one track")
+	}
+	if err := ValidateNesting([]Span{primary}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateNesting([]Span{hedge}); err != nil {
+		t.Fatal(err)
 	}
 }
