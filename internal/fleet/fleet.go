@@ -256,9 +256,14 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "ok (%d/%d replicas healthy)\n", healthy, len(g.replicas))
 }
 
-func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	g.writeProm(w)
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if server.NegotiatesOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", server.ContentTypeOpenMetrics)
+		g.writeProm(w, true)
+		return
+	}
+	w.Header().Set("Content-Type", server.ContentTypeProm)
+	g.writeProm(w, false)
 }
 
 func (g *Gateway) handleInvalidate(w http.ResponseWriter, r *http.Request) {

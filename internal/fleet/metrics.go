@@ -55,8 +55,9 @@ func (h *histogram) observeTraced(s float64, traceID uint64) {
 
 // exemplarSuffix renders one bucket's exemplar annotation, empty when
 // the bucket never saw a traced observation. Appended to the bucket's
-// own sample line, so untraced scrapes stay byte-identical to the
-// classic exposition.
+// own sample line, and only on OpenMetrics-negotiated scrapes — the
+// classic text parser rejects any trailing annotation, so emitting it
+// there would fail the entire scrape (see server.NegotiatesOpenMetrics).
 func exemplarSuffix(e exemplar) string {
 	if e.id == 0 {
 		return ""
@@ -64,19 +65,25 @@ func exemplarSuffix(e exemplar) string {
 	return fmt.Sprintf(" # {trace_id=\"%016x\"} %g", e.id, e.val)
 }
 
-func (h *histogram) write(w io.Writer, name string) {
+func (h *histogram) write(w io.Writer, name string, withExemplars bool) {
 	h.mu.Lock()
 	counts := append([]int64(nil), h.counts...)
 	exemplars := append([]exemplar(nil), h.exemplars...)
 	sum, count := h.sum, h.count
 	h.mu.Unlock()
+	suffix := func(e exemplar) string {
+		if !withExemplars {
+			return ""
+		}
+		return exemplarSuffix(e)
+	}
 	cum := int64(0)
 	for i, ub := range h.buckets {
 		cum += counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, fmt.Sprintf("%g", ub), cum, exemplarSuffix(exemplars[i]))
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, fmt.Sprintf("%g", ub), cum, suffix(exemplars[i]))
 	}
 	cum += counts[len(h.buckets)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, cum, exemplarSuffix(exemplars[len(h.buckets)]))
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, cum, suffix(exemplars[len(h.buckets)]))
 	fmt.Fprintf(w, "%s_sum %g\n", name, sum)
 	fmt.Fprintf(w, "%s_count %d\n", name, count)
 }
@@ -184,8 +191,10 @@ func (g *Gateway) Stats() Stats {
 	return s
 }
 
-// writeProm renders the gateway metrics in Prometheus text format.
-func (g *Gateway) writeProm(w io.Writer) {
+// writeProm renders the gateway metrics in the classic Prometheus text
+// format (exemplars off) or, for a scrape that negotiated OpenMetrics,
+// with per-bucket trace-ID exemplars and the mandatory # EOF trailer.
+func (g *Gateway) writeProm(w io.Writer, openMetrics bool) {
 	s := g.Stats()
 	fmt.Fprintf(w, "# HELP fleet_requests_total Requests accepted by the gateway.\n")
 	fmt.Fprintf(w, "# TYPE fleet_requests_total counter\n")
@@ -249,12 +258,15 @@ func (g *Gateway) writeProm(w io.Writer) {
 
 	fmt.Fprintf(w, "# HELP fleet_request_latency_seconds Gateway-side request latency (cache hits included).\n")
 	fmt.Fprintf(w, "# TYPE fleet_request_latency_seconds histogram\n")
-	g.met.latency.write(w, "fleet_request_latency_seconds")
+	g.met.latency.write(w, "fleet_request_latency_seconds", openMetrics)
 
 	if g.met.flightLen != nil {
 		fmt.Fprintf(w, "# HELP fleet_flight_entries Requests retained by the flight recorder at /debug/flight.\n")
 		fmt.Fprintf(w, "# TYPE fleet_flight_entries gauge\n")
 		fmt.Fprintf(w, "fleet_flight_entries %d\n", g.met.flightLen())
+	}
+	if openMetrics {
+		fmt.Fprintf(w, "# EOF\n")
 	}
 }
 

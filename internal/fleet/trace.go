@@ -191,6 +191,10 @@ func (rt *reqTrace) wire() *trace.Wire {
 			w.Truncated = true
 		}
 		for _, p := range a.child.Procs {
+			// Clone: the retained child tree is merged again on a later
+			// flight export (and marshaled concurrently with it), so the
+			// built Wire must own the tracks Truncate below rewrites.
+			p = p.Clone()
 			p.Name = fmt.Sprintf("replica %d: %s", a.idx+1, p.Name)
 			p.OffsetUS += off
 			w.Procs = append(w.Procs, p)

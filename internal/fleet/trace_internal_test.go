@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"sortlast/internal/trace"
+)
+
+// oversizedChild builds a replica span tree big enough that the merged
+// gateway trace must truncate.
+func oversizedChild(id trace.ID) *trace.Wire {
+	spans := make([]trace.WireSpan, trace.MaxWireSpans)
+	for i := range spans {
+		spans[i] = trace.WireSpan{Name: "render", StartUS: float64(i), DurUS: 1}
+	}
+	return &trace.Wire{
+		TraceID: id.String(),
+		TotalUS: 500,
+		Procs: []trace.WireProc{{
+			Name:   "renderd",
+			Tracks: []trace.WireTrack{{Name: "rank 0", Spans: spans}},
+		}},
+	}
+}
+
+// TestReqTraceWireRepeatable pins that wire() builds a Wire owning its
+// data: the reply path truncates its merge, and a later /debug/flight
+// export rebuilds from the same retained attempt children — which the
+// first build must have left intact (no span loss, no duplicated
+// tracks, no concurrent mutation under a marshal).
+func TestReqTraceWireRepeatable(t *testing.T) {
+	rt := &reqTrace{id: trace.NewID(), clientSampled: true, start: time.Now()}
+	a := rt.beginAttempt(0, "primary")
+	child := oversizedChild(rt.id)
+	childSpans := child.SpanCount()
+	rt.endAttempt(a, child, "")
+	rt.finish(time.Millisecond)
+
+	first := rt.wire()
+	if !first.Truncated || first.SpanCount() != trace.MaxWireSpans {
+		t.Fatalf("first merge: truncated=%v spans=%d, want truncated at %d",
+			first.Truncated, first.SpanCount(), trace.MaxWireSpans)
+	}
+	if child.SpanCount() != childSpans || len(child.Procs[0].Tracks) != 1 {
+		t.Fatalf("reply-path truncation corrupted the retained child: %d spans in %d tracks, want %d in 1",
+			child.SpanCount(), len(child.Procs[0].Tracks), childSpans)
+	}
+	second := rt.wire()
+	if second.SpanCount() != first.SpanCount() || len(second.Procs) != len(first.Procs) {
+		t.Fatalf("flight re-export differs from reply merge: %d spans / %d procs vs %d / %d",
+			second.SpanCount(), len(second.Procs), first.SpanCount(), len(first.Procs))
+	}
+}

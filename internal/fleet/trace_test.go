@@ -265,9 +265,31 @@ func TestFleetTracedHedgedRequest(t *testing.T) {
 	if code, _ := gatewayGet(t, base+"/debug/pprof/"); code != http.StatusOK {
 		t.Errorf("gateway pprof index: status %d, want 200", code)
 	}
+	// Exemplars ride the OpenMetrics exposition only; a classic scrape
+	// must stay clean or a stock Prometheus would fail the whole scrape.
+	omReq, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omReq.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	resp, err := http.DefaultClient.Do(omReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics") {
+		t.Errorf("OpenMetrics scrape answered Content-Type %q", ct)
+	}
+	if !strings.Contains(string(om), `trace_id="`+tc.TraceID+`"`) {
+		t.Error("gateway OpenMetrics scrape missing the request's exemplar")
+	}
+	if !strings.HasSuffix(string(om), "# EOF\n") {
+		t.Error("gateway OpenMetrics scrape missing # EOF trailer")
+	}
 	_, metrics := gatewayGet(t, base+"/metrics")
-	if !strings.Contains(string(metrics), `trace_id="`+tc.TraceID+`"`) {
-		t.Error("gateway metrics missing the request's exemplar")
+	if strings.Contains(string(metrics), "trace_id") {
+		t.Error("gateway classic scrape carries exemplars")
 	}
 	if !strings.Contains(string(metrics), "fleet_flight_entries ") {
 		t.Error("gateway metrics missing fleet_flight_entries gauge")

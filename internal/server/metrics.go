@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,8 +18,12 @@ import (
 // bounds, one mutex-guarded bump per observation. Bucket bounds are
 // shared by reference across instances (they are never mutated).
 // Observations may attach a trace ID; the latest per bucket is kept and
-// emitted as an OpenMetrics-style exemplar, so a spike in a latency
-// bucket links straight to a /debug/flight trace.
+// emitted as an OpenMetrics exemplar, so a spike in a latency bucket
+// links straight to a /debug/flight trace. Exemplars only appear when
+// the scrape negotiated OpenMetrics: the classic text format
+// (text/plain; version=0.0.4) allows nothing but an optional timestamp
+// after the value, so an exemplar suffix would fail the whole scrape
+// for a stock Prometheus client.
 type histogram struct {
 	buckets []float64 // upper bounds, seconds, ascending; +Inf implicit
 
@@ -61,8 +66,11 @@ func (h *histogram) observeTraced(s float64, traceID uint64) {
 
 // write renders the histogram's sample lines (no HELP/TYPE header, so
 // several labeled instances can share one metric family). labels is
-// either empty or a `key="value"` list without braces.
-func (h *histogram) write(w io.Writer, name, labels string) {
+// either empty or a `key="value"` list without braces. withExemplars
+// appends each bucket's exemplar in OpenMetrics form; pass it only for
+// an OpenMetrics-negotiated scrape — the classic text parser rejects
+// any trailing annotation, failing the entire scrape.
+func (h *histogram) write(w io.Writer, name, labels string, withExemplars bool) {
 	h.mu.Lock()
 	counts := append([]int64(nil), h.counts...)
 	exemplars := append([]exemplar(nil), h.exemplars...)
@@ -72,12 +80,11 @@ func (h *histogram) write(w io.Writer, name, labels string) {
 	if labels != "" {
 		sep = ","
 	}
-	// exemplarSuffix renders bucket i's exemplar in OpenMetrics form
-	// appended to the sample line ("... 12 # {trace_id="ab..."} 0.021").
-	// Untraced observations leave no exemplar, so plain Prometheus
-	// scrapers (and the exposition-validity tests) see unchanged lines.
+	// exemplarSuffix renders bucket i's exemplar appended to the sample
+	// line ("... 12 # {trace_id="ab..."} 0.021"), empty on a classic
+	// scrape or for a bucket that never saw a traced observation.
 	exemplarSuffix := func(i int) string {
-		if exemplars[i].id == 0 {
+		if !withExemplars || exemplars[i].id == 0 {
 			return ""
 		}
 		return fmt.Sprintf(" # {trace_id=\"%016x\"} %g", exemplars[i].id, exemplars[i].val)
@@ -197,8 +204,49 @@ func (m *metrics) requestFailed(code string) {
 	}
 }
 
-// WriteProm renders the metrics in Prometheus text exposition format.
-func (m *metrics) WriteProm(w io.Writer) {
+// ContentTypeProm and ContentTypeOpenMetrics are the Content-Type
+// values of the two exposition formats /metrics can serve.
+const (
+	ContentTypeProm        = "text/plain; version=0.0.4"
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// NegotiatesOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics text format. Only OpenMetrics scrapes get exemplars: the
+// classic text parser allows nothing after the sample value but an
+// optional timestamp, so exemplar suffixes would fail the whole scrape.
+// A q=0 weight explicitly refuses the type.
+func NegotiatesOpenMetrics(accept string) bool {
+	for _, clause := range strings.Split(accept, ",") {
+		mediaType, params, _ := strings.Cut(strings.TrimSpace(clause), ";")
+		if strings.TrimSpace(mediaType) != "application/openmetrics-text" {
+			continue
+		}
+		for _, p := range strings.Split(params, ";") {
+			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok &&
+				strings.TrimSpace(k) == "q" && strings.TrimSpace(v) == "0" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// WriteProm renders the metrics in the classic Prometheus text
+// exposition format — no exemplars, byte-identical whether or not
+// requests carried trace IDs.
+func (m *metrics) WriteProm(w io.Writer) { m.write(w, false) }
+
+// WriteOpenMetrics renders the metrics as OpenMetrics text: the same
+// families plus per-bucket trace-ID exemplars and the mandatory # EOF
+// trailer.
+func (m *metrics) WriteOpenMetrics(w io.Writer) {
+	m.write(w, true)
+	fmt.Fprintf(w, "# EOF\n")
+}
+
+func (m *metrics) write(w io.Writer, exemplars bool) {
 	fmt.Fprintf(w, "# HELP renderd_frames_total Frames served, by compositing method.\n")
 	fmt.Fprintf(w, "# TYPE renderd_frames_total counter\n")
 	for _, name := range core.Names() {
@@ -249,12 +297,12 @@ func (m *metrics) WriteProm(w io.Writer) {
 
 	fmt.Fprintf(w, "# HELP renderd_frame_latency_seconds Admission-to-reply latency of served frames.\n")
 	fmt.Fprintf(w, "# TYPE renderd_frame_latency_seconds histogram\n")
-	m.latency.write(w, "renderd_frame_latency_seconds", "")
+	m.latency.write(w, "renderd_frame_latency_seconds", "", exemplars)
 
 	fmt.Fprintf(w, "# HELP renderd_phase_latency_seconds Slowest-rank wall time per frame phase, from trace spans.\n")
 	fmt.Fprintf(w, "# TYPE renderd_phase_latency_seconds histogram\n")
 	for _, p := range phaseNames {
-		m.phases[p].write(w, "renderd_phase_latency_seconds", fmt.Sprintf("phase=%q", p))
+		m.phases[p].write(w, "renderd_phase_latency_seconds", fmt.Sprintf("phase=%q", p), exemplars)
 	}
 }
 

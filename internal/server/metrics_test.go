@@ -234,23 +234,56 @@ func TestPhaseBucketCoverage(t *testing.T) {
 }
 
 // TestExemplars asserts traced observations surface as OpenMetrics
-// exemplars on the owning bucket's sample line, and untraced
-// observations leave the exposition byte-identical to the classic form.
+// exemplars on the owning bucket's sample line — but only on the
+// OpenMetrics exposition. The classic format allows nothing after the
+// sample value but an optional timestamp, so a stock Prometheus scrape
+// must stay exemplar-free even when every request is traced.
 func TestExemplars(t *testing.T) {
 	m := newMetrics(func() int { return 0 })
-	m.frameDone("bsbrc", 42*time.Millisecond, 0)
-	if out := scrape(t, m); strings.Contains(out, "trace_id") {
-		t.Fatal("untraced observation emitted an exemplar")
-	}
 	m.frameDone("bsbrc", 42*time.Millisecond, 0xabcd)
-	out := scrape(t, m)
-	want := `le="0.05"} 2 # {trace_id="000000000000abcd"} 0.042`
+
+	// Classic scrape: no exemplars, ever.
+	if out := scrape(t, m); strings.Contains(out, "trace_id") {
+		t.Fatalf("classic exposition carries an exemplar:\n%s", out)
+	}
+
+	// OpenMetrics scrape: the owning bucket carries it, plus # EOF.
+	var sb strings.Builder
+	m.WriteOpenMetrics(&sb)
+	out := sb.String()
+	want := `le="0.05"} 1 # {trace_id="000000000000abcd"} 0.042`
 	if !strings.Contains(out, want) {
-		t.Fatalf("exposition missing exemplar %q in:\n%s", want, out)
+		t.Fatalf("OpenMetrics exposition missing exemplar %q in:\n%s", want, out)
 	}
 	// Exactly one bucket line carries it (the owning bucket, not the
 	// cumulative tail).
 	if n := strings.Count(out, "trace_id"); n != 1 {
 		t.Fatalf("exemplar appears on %d lines, want 1", n)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatal("OpenMetrics exposition missing # EOF trailer")
+	}
+}
+
+// TestNegotiatesOpenMetrics pins the Accept-header negotiation that
+// decides which exposition (and whether exemplars) a scrape gets.
+func TestNegotiatesOpenMetrics(t *testing.T) {
+	for _, tc := range []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"text/plain;version=0.0.4", false},
+		{"*/*", false},
+		{"application/openmetrics-text", true},
+		{"application/openmetrics-text;version=1.0.0", true},
+		// Prometheus's real header: OpenMetrics preferred, classic fallback.
+		{"application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5,*/*;q=0.1", true},
+		{"text/plain;version=0.0.4, application/openmetrics-text; version=1.0.0; q=0.8", true},
+		{"application/openmetrics-text;q=0", false},
+	} {
+		if got := NegotiatesOpenMetrics(tc.accept); got != tc.want {
+			t.Errorf("NegotiatesOpenMetrics(%q) = %v, want %v", tc.accept, got, tc.want)
+		}
 	}
 }

@@ -366,8 +366,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if NegotiatesOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+		s.met.WriteOpenMetrics(w)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeProm)
 	s.met.WriteProm(w)
 }
 

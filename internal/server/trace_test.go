@@ -24,6 +24,27 @@ func httpGet(t *testing.T, url string) (int, []byte) {
 	return resp.StatusCode, body
 }
 
+// httpGetOpenMetrics scrapes url negotiating the OpenMetrics exposition
+// (the format exemplars ride on), the way Prometheus itself asks.
+func httpGetOpenMetrics(t *testing.T, url string) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics") {
+		t.Fatalf("OpenMetrics scrape of %s answered Content-Type %q", url, ct)
+	}
+	return body
+}
+
 // TestTraceSidecar covers the serving-tier observability surface: the
 // /debug/trace/last endpoint 404s before any frame, serves
 // Perfetto-loadable JSON with one track per rank after one, the phase
@@ -201,10 +222,19 @@ func TestSampledRequestReturnsTrace(t *testing.T) {
 		t.Fatalf("flight export = traceId %q, %d events", file.TraceID, len(file.TraceEvents))
 	}
 
-	// The latency histogram carries the trace ID as an exemplar.
-	_, metrics := httpGet(t, base+"/metrics")
+	// The latency histogram carries the trace ID as an exemplar — on an
+	// OpenMetrics-negotiated scrape only. A classic scrape must stay
+	// clean: its parser rejects any line with an exemplar suffix.
+	metrics := httpGetOpenMetrics(t, base+"/metrics")
 	if !strings.Contains(string(metrics), `trace_id="`+tc.TraceID+`"`) {
-		t.Error("metrics missing the frame's exemplar")
+		t.Error("OpenMetrics scrape missing the frame's exemplar")
+	}
+	if !strings.HasSuffix(string(metrics), "# EOF\n") {
+		t.Error("OpenMetrics scrape missing # EOF trailer")
+	}
+	_, classic := httpGet(t, base+"/metrics")
+	if strings.Contains(string(classic), "trace_id") {
+		t.Error("classic scrape carries exemplars; stock Prometheus would reject it")
 	}
 
 	// An unsampled request still gets a locally minted correlation ID

@@ -27,8 +27,11 @@ type Flight struct {
 	full    bool
 
 	// Rolling latency window for the p99 keep threshold. Only
-	// non-cached frames feed it: cache hits return in microseconds and
-	// would drag the quantile below every rendered frame.
+	// successful non-cached frames feed it: cache hits return in
+	// microseconds, and fast rejections (overloaded/shutdown) are
+	// near-instant — either would drag the quantile down until every
+	// ordinary frame qualifies as ">= p99" and churns the ring. Errors
+	// are kept unconditionally, so they need no say in the threshold.
 	window [flightWindow]time.Duration
 	wn     int
 	wnext  int
@@ -129,7 +132,7 @@ func (f *Flight) Observe(e FlightEntry) bool {
 		keep = false
 	}
 
-	if !e.Cached {
+	if !e.Cached && (e.Outcome == "" || e.Outcome == "ok") {
 		f.window[f.wnext] = e.Latency
 		f.wnext = (f.wnext + 1) % flightWindow
 		if f.wn < flightWindow {

@@ -57,6 +57,30 @@ func TestFlightTailSampling(t *testing.T) {
 	}
 }
 
+// TestFlightWindowIgnoresErrors pins the p99 window's diet: fast
+// rejections (overloaded/shutdown answer in microseconds) must not feed
+// the latency window, or during and after an overload burst the
+// threshold collapses and every ordinary frame qualifies as ">= p99",
+// churning the ring and evicting genuinely interesting entries. Errors
+// are kept unconditionally, so they need no say in the threshold.
+func TestFlightWindowIgnoresErrors(t *testing.T) {
+	f := NewFlight(8)
+	for i := 0; i < flightWindow; i++ {
+		f.Observe(FlightEntry{Outcome: "ok", Latency: 10 * time.Millisecond})
+	}
+	// An overload burst: twice the window size of microsecond rejections.
+	for i := 0; i < 2*flightWindow; i++ {
+		if !f.Observe(FlightEntry{Outcome: "overloaded", Latency: time.Microsecond}) {
+			t.Fatal("error frame dropped")
+		}
+	}
+	// An ordinary 5ms frame is still below the 10ms tail and drops; with
+	// the window polluted it would have been "kept: p99".
+	if f.Observe(FlightEntry{Outcome: "ok", Latency: 5 * time.Millisecond}) {
+		t.Fatal("ordinary frame kept after an error burst: errors fed the p99 window")
+	}
+}
+
 func TestFlightRingEviction(t *testing.T) {
 	f := NewFlight(4)
 	for i := 0; i < 10; i++ {

@@ -45,6 +45,21 @@ type WireProc struct {
 	Tracks   []WireTrack `json:"tracks"`
 }
 
+// Clone deep-copies the process: fresh Tracks and Spans arrays, so the
+// copy can be renamed, offset, and Truncated without mutating the
+// source. Assemblers that merge retained child trees into a new Wire
+// (the gateway, Nest) must clone — the same child is merged again on a
+// later flight export, and Truncate rewrites slices in place.
+func (p WireProc) Clone() WireProc {
+	out := p
+	out.Tracks = make([]WireTrack, len(p.Tracks))
+	for i, tr := range p.Tracks {
+		tr.Spans = append([]WireSpan(nil), tr.Spans...)
+		out.Tracks[i] = tr
+	}
+	return out
+}
+
 // Wire is one request's (partial or merged) trace.
 type Wire struct {
 	TraceID string `json:"trace_id"`
@@ -108,7 +123,9 @@ func BuildWire(traceID ID, proc string, total time.Duration, procTrack []Span, r
 
 // Truncate drops spans past the cap in document order (process-level
 // tracks come first, so the umbrella spans survive and the deepest rank
-// detail goes), and flags the trace as truncated.
+// detail goes), and flags the trace as truncated. It rewrites the
+// Tracks/Spans slice headers in place, so the Wire must own them —
+// merge retained child procs with Clone before calling.
 func (w *Wire) Truncate(max int) {
 	left := max
 	for pi := range w.Procs {
@@ -127,7 +144,10 @@ func (w *Wire) Truncate(max int) {
 	if w.Truncated {
 		for pi := range w.Procs {
 			p := &w.Procs[pi]
-			kept := p.Tracks[:0]
+			// Compact into a fresh slice: filtering through p.Tracks[:0]
+			// would scribble over a backing array the source tree may
+			// still share.
+			kept := make([]WireTrack, 0, len(p.Tracks))
 			for _, tr := range p.Tracks {
 				if len(tr.Spans) > 0 {
 					kept = append(kept, tr)
@@ -171,6 +191,7 @@ func Nest(proc, track, span string, rtt time.Duration, child *Wire) *Wire {
 		out.Truncated = child.Truncated
 		off := us(MidpointOffset(0, rtt, child.Total()))
 		for _, p := range child.Procs {
+			p = p.Clone() // the result may be Truncated; leave child intact
 			p.OffsetUS += off
 			out.Procs = append(out.Procs, p)
 		}

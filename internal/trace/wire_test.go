@@ -85,6 +85,34 @@ func TestWireTruncate(t *testing.T) {
 	}
 }
 
+// TestTruncateAfterNestLeavesChildIntact pins the ownership contract:
+// assemblers clone retained child trees into the merged Wire, so
+// truncating the merge (the reply path does) must not corrupt the
+// source — a flight export rebuilds from the same child later, possibly
+// concurrently with the reply's JSON marshal.
+func TestTruncateAfterNestLeavesChildIntact(t *testing.T) {
+	id := NewID()
+	rec := recWithSpans(t, 4, 100) // 400 spans across 4 rank tracks
+	child := BuildWire(id, "renderd", time.Millisecond, nil, rec)
+	spans, tracks := child.SpanCount(), len(child.Procs[0].Tracks)
+
+	first := Nest("gateway", "request", "dispatch", 2*time.Millisecond, child)
+	first.Truncate(10) // cuts deep into the child's copied tracks
+	if got := first.SpanCount(); got != 10 {
+		t.Fatalf("merged span count after truncate = %d, want 10", got)
+	}
+	if child.SpanCount() != spans || len(child.Procs[0].Tracks) != tracks {
+		t.Fatalf("truncating the merge mutated the child: %d spans in %d tracks, want %d in %d",
+			child.SpanCount(), len(child.Procs[0].Tracks), spans, tracks)
+	}
+	// A second export from the same child (the flight-recorder path)
+	// sees the full tree again.
+	second := Nest("gateway", "request", "dispatch", 2*time.Millisecond, child)
+	if got := second.SpanCount(); got != spans+1 {
+		t.Fatalf("re-merged span count = %d, want %d", got, spans+1)
+	}
+}
+
 func TestMidpointOffset(t *testing.T) {
 	// 10ms round trip, server worked 6ms: 4ms slack, server epoch sits
 	// 2ms after dispatch.
