@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench bench-json bench-autotune bench-render bench-fleet
+.PHONY: check vet build test race chaos bench bench-json bench-autotune bench-render bench-fleet bench-compose
 
 # check is the pre-commit gate: static analysis, a full build, the full
 # test suite, and the race detector over the packages that run
@@ -21,7 +21,8 @@ test:
 race:
 	$(GO) test -race ./internal/render/ ./internal/core/ ./internal/mp/ \
 		./internal/mpnet/ ./internal/server/ ./internal/faultinject/ \
-		./internal/client/ ./internal/fleet/ ./internal/trace/
+		./internal/client/ ./internal/fleet/ ./internal/trace/ \
+		./internal/tilecomp/
 
 # chaos drives an in-process renderd through injected connection resets
 # with a retrying client: the run fails only if a configuration cannot
@@ -64,3 +65,12 @@ bench-fleet:
 bench-autotune:
 	@$(GO) run ./cmd/composebench -autobench -o BENCH_autotune.json || \
 		{ echo "bench-autotune: FAILED -- autobench did not complete (see error above); BENCH_autotune.json not updated" >&2; exit 1; }
+
+# bench-compose measures every registered compositing method's wall time
+# over a dense and a sparse workload (including ds/dfb at non-power-of-
+# two P) and writes BENCH_compose.json. The run itself asserts the
+# tile-routed reduction beats binary swap on the sparse workload at
+# P=16, so a routing regression fails loudly.
+bench-compose:
+	@$(GO) run ./cmd/composebench -compose -o BENCH_compose.json || \
+		{ echo "bench-compose: FAILED -- the compose grid did not complete or dfb lost to bs on the sparse P=16 workload (see error above); BENCH_compose.json not updated" >&2; exit 1; }

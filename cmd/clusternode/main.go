@@ -23,6 +23,7 @@ import (
 	"sortlast/internal/mpnet"
 	"sortlast/internal/partition"
 	"sortlast/internal/render"
+	"sortlast/internal/tilecomp"
 	"sortlast/internal/transfer"
 	"sortlast/internal/volume"
 )
@@ -33,7 +34,7 @@ var (
 	dataset = flag.String("dataset", "cube", "built-in dataset")
 	in      = flag.String("in", "", "volume file instead of a built-in dataset")
 	tfName  = flag.String("tf", "", "transfer preset when using -in")
-	method  = flag.String("method", "bsbrc", "compositing method (bs, bsbr, bslc, bsbrc)")
+	method  = flag.String("method", "bsbrc", "compositing method (bs, bsbr, bslc, bsbrc, ds, dfb, ...)")
 	size    = flag.Int("size", 384, "image size (square)")
 	rotX    = flag.Float64("rotx", 0, "rotation about x (degrees)")
 	rotY    = flag.Float64("roty", 0, "rotation about y (degrees)")
@@ -119,18 +120,46 @@ func run(list []string) error {
 	defer node.Close()
 	c := node.Comm()
 
-	dec, err := partition.Decompose(vol.Bounds(), c.Size())
-	if err != nil {
-		return err
-	}
 	comp, err := core.New(*method)
 	if err != nil {
 		return err
 	}
+	// Power-of-two worlds run over the kd decomposition; other world
+	// sizes are served by the natively any-P tile-routed methods, which
+	// take the fold plan as pure geometry (no fold messages).
+	var dec *partition.Decomposition
+	var lay partition.Layout
+	if p := c.Size(); p&(p-1) == 0 {
+		if dec, err = partition.Decompose(vol.Bounds(), p); err != nil {
+			return err
+		}
+		lay = dec
+	} else {
+		spec, _ := core.Lookup(*method)
+		if !spec.Caps.ServesAnyP() {
+			return fmt.Errorf("method %q requires a power-of-two world, got %d ranks (any-P methods: %s)",
+				*method, p, strings.Join(core.AnyPMethods(), ", "))
+		}
+		plan, err := partition.PlanFold(vol.Bounds(), p)
+		if err != nil {
+			return err
+		}
+		dec, lay = plan.Dec, plan
+		switch v := comp.(type) {
+		case tilecomp.DS:
+			v.Lay = plan
+			comp = v
+		case tilecomp.DFB:
+			v.Lay = plan
+			comp = v
+		default:
+			comp = &core.Folded{Plan: plan, Inner: comp}
+		}
+	}
 	cam := render.NewCamera(*size, *size, vol.Bounds(), *rotX, *rotY)
 
 	start := time.Now()
-	img := render.Raycast(vol, dec.Box(c.Rank()), cam, tf, render.Options{})
+	img := render.Raycast(vol, lay.Box(c.Rank()), cam, tf, render.Options{})
 	renderTime := time.Since(start)
 
 	if err := c.Barrier(); err != nil {

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sortlast/internal/core"
+	"sortlast/internal/harness"
+)
+
+// Compose-grid geometry: every registered method over a dense workload
+// (cube fills the frame) and a sparse one (engine_low occupies a
+// fraction of it) at the paper's Table 1 image size, plus the
+// native-any-P pair at non-power-of-two ranks no other method serves.
+const (
+	cgSize = 384
+	cgReps = 3
+	cgTilt = 20
+	cgTurn = 30
+)
+
+var (
+	cgWorkloads = []struct{ Workload, Dataset string }{
+		{"dense", "cube"},
+		{"sparse", "engine_low"},
+	}
+	cgPow2Ps = []int{4, 8, 16}
+	cgAnyPPs = []int{3, 6}
+)
+
+// cgCell is one measured grid cell.
+type cgCell struct {
+	Workload string `json:"workload"`
+	Dataset  string `json:"dataset"`
+	Method   string `json:"method"`
+	P        int    `json:"p"`
+	// WallMS is the best-of-reps measured compositing wall: the slowest
+	// rank's composite span including waits — the time a synchronized
+	// world actually spends between render and gather.
+	WallMS float64 `json:"wall_ms"`
+	// ModelMS is the cost model's compositing estimate for the cell.
+	ModelMS float64 `json:"model_ms"`
+}
+
+type cgReport struct {
+	CreatedAt string   `json:"created_at"`
+	Size      int      `json:"size"`
+	Reps      int      `json:"reps"`
+	Methods   []string `json:"methods"`
+	Cells     []cgCell `json:"cells"`
+	// DFBvsBSSparseP16 is dfb's measured wall over binary-swap's on the
+	// sparse workload at P=16 — below 1 means the one-round tile-routed
+	// reduction beats the log-P synchronized swap.
+	DFBvsBSSparseP16 float64 `json:"dfb_vs_bs_sparse_p16"`
+}
+
+// cgRun measures one cell, keeping the best (least-noisy) wall of reps.
+func cgRun(dataset, method string, p int) (cgCell, error) {
+	cell := cgCell{Dataset: dataset, Method: method, P: p}
+	for rep := 0; rep < cgReps; rep++ {
+		row, err := harness.Run(harness.Config{
+			Dataset: dataset, Width: cgSize, Height: cgSize,
+			P: p, Method: method, RotX: cgTilt, RotY: cgTurn,
+		})
+		if err != nil {
+			return cell, fmt.Errorf("%s/%s/P%d: %w", dataset, method, p, err)
+		}
+		if rep == 0 || row.WallMS < cell.WallMS {
+			cell.WallMS = row.WallMS
+		}
+		cell.ModelMS = row.TotalMS
+	}
+	fmt.Fprintf(os.Stderr, ".")
+	return cell, nil
+}
+
+// runComposeGrid measures the full method grid and writes the report to
+// -o, failing if the tile-routed reduction does not beat binary swap on
+// the sparse workload at P=16 — the single-round advantage the closed
+// forms cannot express must be visible in measured wall time.
+func runComposeGrid() error {
+	methods := core.Names()
+	rep := cgReport{
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Size:      cgSize, Reps: cgReps,
+		Methods: methods,
+	}
+	// Warm the volume cache so the first cell doesn't pay synthesis.
+	for _, w := range cgWorkloads {
+		if _, _, err := harness.Dataset(w.Dataset); err != nil {
+			return err
+		}
+	}
+	walls := map[string]float64{} // "workload/method/P" -> wall
+	for _, w := range cgWorkloads {
+		for _, m := range methods {
+			ps := cgPow2Ps
+			if s, ok := core.Lookup(m); ok && s.Caps.NativeAnyP {
+				ps = append(append([]int{}, cgAnyPPs...), cgPow2Ps...)
+			}
+			for _, p := range ps {
+				cell, err := cgRun(w.Dataset, m, p)
+				if err != nil {
+					return err
+				}
+				cell.Workload = w.Workload
+				rep.Cells = append(rep.Cells, cell)
+				walls[fmt.Sprintf("%s/%s/%d", w.Workload, m, p)] = cell.WallMS
+			}
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	dfb, bs := walls["sparse/dfb/16"], walls["sparse/bs/16"]
+	if dfb <= 0 || bs <= 0 {
+		return fmt.Errorf("compose grid missing the sparse P=16 cells (dfb %v, bs %v)", dfb, bs)
+	}
+	rep.DFBvsBSSparseP16 = dfb / bs
+	if rep.DFBvsBSSparseP16 >= 1 {
+		return fmt.Errorf("dfb (%.3f ms) did not beat bs (%.3f ms) on the sparse workload at P=16", dfb, bs)
+	}
+
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*outFile, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("compose: %d cells over %d methods; sparse P=16 dfb/bs wall ratio %.2f; wrote %s\n",
+		len(rep.Cells), len(methods), rep.DFBvsBSSparseP16, *outFile)
+	return nil
+}

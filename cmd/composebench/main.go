@@ -12,12 +12,15 @@
 //	composebench -mmax -dataset cube
 //	composebench -all -csv
 //	composebench -autobench -o BENCH_autotune.json
+//	composebench -compose -o BENCH_compose.json
+//	composebench -table 1 -method ds,dfb -plist 3,6 -dataset cube
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"sortlast/internal/harness"
@@ -31,9 +34,12 @@ var (
 	mmax      = flag.Bool("mmax", false, "regenerate the Eq. 9 M_max comparison")
 	all       = flag.Bool("all", false, "regenerate every table and figure")
 	autobench = flag.Bool("autobench", false, "compare Method auto against each fixed method over a mixed sparse/dense animation; writes JSON to -o")
+	composeFl = flag.Bool("compose", false, "measure every registered method's compositing wall over a dense and a sparse workload, including ds/dfb at non-power-of-two P; writes JSON to -o")
 	dataset   = flag.String("dataset", "", "restrict to one dataset (engine_low, engine_high, head, cube)")
 	methodsFl = flag.String("method", "", "comma-separated methods overriding each sweep's method set (core methods or auto)")
 	maxP      = flag.Int("maxp", 64, "largest processor count in the sweep")
+	plist     = flag.String("plist", "", "comma-separated explicit processor counts overriding the power-of-two sweep (any-P methods accept non-powers of two)")
+	tileFl    = flag.Int("tile", 0, "dfb tile edge in pixels (0: the tilecomp default)")
 	rotX      = flag.Float64("rotx", 20, "viewpoint rotation about x (degrees)")
 	rotY      = flag.Float64("roty", 30, "viewpoint rotation about y (degrees)")
 	csv       = flag.Bool("csv", false, "emit CSV instead of formatted tables")
@@ -68,15 +74,37 @@ func datasets() []string {
 	return []string{"engine_low", "engine_high", "head", "cube"}
 }
 
+// sweepPs is the processor-count axis: -plist verbatim when given,
+// otherwise the power-of-two ladder up to -maxp.
+func sweepPs() ([]int, error) {
+	if *plist == "" {
+		return harness.PowersOfTwo(*maxP), nil
+	}
+	var ps []int
+	for _, s := range strings.Split(*plist, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("-plist: bad processor count %q", s)
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
 // sweep runs dataset x method x P at one image size.
 func sweep(size int, methods []string, ds []string) ([]harness.Row, error) {
+	ps, err := sweepPs()
+	if err != nil {
+		return nil, err
+	}
 	var rows []harness.Row
 	for _, d := range ds {
 		for _, m := range methods {
-			for _, p := range harness.PowersOfTwo(*maxP) {
+			for _, p := range ps {
 				cfg := harness.Config{
 					Dataset: d, Width: size, Height: size,
 					P: p, Method: m, RotX: *rotX, RotY: *rotY,
+					Tile: *tileFl,
 				}
 				if *traceOut != "" {
 					cfg.Trace = trace.NewRecorder(p)
@@ -128,6 +156,12 @@ func run() error {
 	if *autobench {
 		did = true
 		if err := runAutobench(); err != nil {
+			return err
+		}
+	}
+	if *composeFl {
+		did = true
+		if err := runComposeGrid(); err != nil {
 			return err
 		}
 	}
@@ -193,7 +227,7 @@ func run() error {
 	}
 	if !did {
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -table, -figure, -mmax, -autobench or -all")
+		return fmt.Errorf("nothing to do: pass -table, -figure, -mmax, -autobench, -compose or -all")
 	}
 	if *traceOut != "" {
 		if lastTrace == nil {

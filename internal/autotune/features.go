@@ -171,6 +171,17 @@ func StatsFeatures(prev Features, width, height, p int, method string, ranks []*
 		// inside them recovers Alpha = density·Beta.
 		f.Beta = clamp01(float64(recv) / denseRecv)
 		f.Alpha = clamp01(density * f.Beta)
+	case "ds", "dfb", "DS", "DFB":
+		// Tile-routed delivery lands each encoded region on exactly one
+		// owner, so world-wide the received rectangle area is about one
+		// frame's bounding-rectangle content: Beta estimates against a
+		// single frame of area, and the codes cover one frame, not P-1.
+		f.Beta = clamp01(float64(recv) / float64(area))
+		f.Alpha = clamp01(density * f.Beta)
+		if codes > 0 {
+			f.Runs = float64(codes) / (2 * float64(height))
+		}
+		return f
 	default:
 		// Delivered regions are dense halves (BS) or owned interleaves
 		// (BSLC): density estimates Alpha directly; Beta is unobserved.

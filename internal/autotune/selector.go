@@ -8,10 +8,12 @@ import (
 	"sync"
 	"time"
 
+	"sortlast/internal/core"
 	"sortlast/internal/costmodel"
 	"sortlast/internal/frame"
 	"sortlast/internal/rle"
 	"sortlast/internal/stats"
+	"sortlast/internal/tilecomp"
 )
 
 // MethodAuto is the method name that requests adaptive per-frame
@@ -21,12 +23,16 @@ const MethodAuto = "auto"
 // IsAuto reports whether a method name requests adaptive selection.
 func IsAuto(method string) bool { return method == MethodAuto }
 
-// Candidates are the methods the selector chooses among: the paper's
-// four evaluated methods plus the §3.3 interleaved-compression variant.
-// All five support the non-power-of-two fold, so an "auto" request is
-// valid wherever a fixed binary-swap request is.
+// Candidates are the methods the selector chooses among: every
+// registered method carrying a closed-form cost model — the paper's
+// four evaluated methods, the §3.3 interleaved-compression variant, and
+// the tile-routed pair (ds, dfb) from internal/tilecomp. All of them
+// serve non-power-of-two worlds (the binary-swap family folds, the
+// tile-routed pair runs natively at any P), so an "auto" request is
+// valid wherever a fixed method request is. Importing this package
+// links tilecomp, so the registry is always fully populated here.
 func Candidates() []string {
-	return []string{"bs", "bsbr", "bslc", "bsbrc", "bsbrlc"}
+	return core.ModelBacked()
 }
 
 // bsbrlcOverhead models BSBRLC's interleave bookkeeping relative to
@@ -102,6 +108,22 @@ func Predict(p costmodel.Params, method string, f Features) (costmodel.Cost, err
 		if method == "bsbrlc" {
 			comp = time.Duration(float64(comp) * bsbrlcOverhead)
 		}
+	case "ds", "dfb":
+		// Tile-routed closed forms (internal/costmodel, tilerouted.go):
+		// one route round to static owners, so the delivered pixels are
+		// one frame's non-blank content spread across P owners instead of
+		// binary swap's A(1-1/P) per rank.
+		sp := costmodel.Sparsity{
+			Area: area, Alpha: alpha, Beta: beta,
+			FrameCodes: frameCodes, P: f.P,
+		}
+		var cost costmodel.Cost
+		if method == "ds" {
+			cost = p.DirectSendCost(sp)
+		} else {
+			cost = p.TileRoutedCost(sp, tilecomp.DefaultTile)
+		}
+		comp, comm = cost.Comp, cost.Comm
 	default:
 		return costmodel.Cost{}, fmt.Errorf("autotune: no model for method %q", method)
 	}

@@ -1,0 +1,134 @@
+package autotune
+
+import (
+	"testing"
+
+	"sortlast/internal/core"
+	"sortlast/internal/costmodel"
+	"sortlast/internal/stats"
+)
+
+// The candidate set derives from the registry: all model-backed methods,
+// including the tile-routed pair, with no hardcoded copy to drift.
+func TestCandidatesFromRegistry(t *testing.T) {
+	cands := Candidates()
+	if len(cands) != 7 {
+		t.Fatalf("candidates = %v, want 7", cands)
+	}
+	have := map[string]bool{}
+	for _, m := range cands {
+		have[m] = true
+		if s, ok := core.Lookup(m); !ok || !s.Caps.ModelBacked {
+			t.Errorf("candidate %q not a model-backed registry method", m)
+		}
+		if !core.ServesAnyP(m) {
+			t.Errorf("candidate %q cannot serve non-power-of-two P; auto would break admission", m)
+		}
+	}
+	for _, m := range []string{"bs", "bsbr", "bslc", "bsbrc", "bsbrlc", "ds", "dfb"} {
+		if !have[m] {
+			t.Errorf("candidate %q missing from %v", m, cands)
+		}
+	}
+}
+
+// Predict must rank the tile-routed methods with the shared closed
+// forms: positive costs, dfb paying framing over ds, and both within an
+// order of magnitude of bsbrc (same gloss, different round structure).
+func TestPredictTileRouted(t *testing.T) {
+	p := costmodel.SP2()
+	f := Features{Width: 384, Height: 384, P: 6, Alpha: 0.05, Beta: 0.2, Runs: 4}
+	ds, err := Predict(p, "ds", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfb, err := Predict(p, "dfb", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsbrc, err := Predict(p, "bsbrc", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, c := range map[string]costmodel.Cost{"ds": ds, "dfb": dfb} {
+		if c.Comp <= 0 || c.Comm <= 0 {
+			t.Fatalf("%s: non-positive cost %+v", label, c)
+		}
+	}
+	if dfb.Comm <= ds.Comm {
+		t.Errorf("dfb comm %v not above ds comm %v", dfb.Comm, ds.Comm)
+	}
+	ratio := float64(ds.Total()) / float64(bsbrc.Total())
+	if ratio < 0.1 || ratio > 10 {
+		t.Errorf("ds/bsbrc total ratio %v: forms not comparable", ratio)
+	}
+}
+
+// StatsFeatures must read tile-routed delivery correctly: world-wide
+// received rectangle area is about one frame's bounding-rectangle
+// content, and the codes cover one frame.
+func TestStatsFeaturesTileRouted(t *testing.T) {
+	// 100x100 frame, P=4: ranks received 2000 px of rect area total,
+	// 500 of them non-blank, 160 codes shipped.
+	ranks := make([]*stats.Rank, 4)
+	for i := range ranks {
+		r := &stats.Rank{Method: "DS"}
+		s := r.StageAt(1)
+		s.RecvPixels = 500
+		s.Composited = 125
+		s.Codes = 40
+		ranks[i] = r
+	}
+	prev := Features{Width: 100, Height: 100, P: 4, Alpha: 0.5, Beta: 0.5, Runs: 1}
+	f := StatsFeatures(prev, 100, 100, 4, "ds", ranks)
+	// Beta = 2000/10000 = 0.2; density 0.25 -> alpha = 0.05;
+	// runs = 160/(2*100) = 0.8.
+	if f.Beta < 0.199 || f.Beta > 0.201 {
+		t.Errorf("beta = %v, want 0.2", f.Beta)
+	}
+	if f.Alpha < 0.049 || f.Alpha > 0.051 {
+		t.Errorf("alpha = %v, want 0.05", f.Alpha)
+	}
+	if f.Runs < 0.79 || f.Runs > 0.81 {
+		t.Errorf("runs = %v, want 0.8", f.Runs)
+	}
+}
+
+// An auto selector must be able to pick a tile-routed method once its
+// measured factor says so — the adaptivity path for methods whose win
+// (single round, no stage lockstep) the work model cannot express.
+func TestObservePromotesTileRouted(t *testing.T) {
+	sel := NewSelector(costmodel.SP2(), TransportMP)
+	f := Features{Width: 384, Height: 384, P: 8, Alpha: 0.03, Beta: 0.15, Runs: 4}
+	first, err := sel.Choose(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Method == "ds" || first.Method == "dfb" {
+		t.Fatalf("cold-start choice %q: work model should favor fewer startups", first.Method)
+	}
+	// Every binary-swap family member measures 10x over model; ds
+	// measures at model.
+	for i := 0; i < 30; i++ {
+		for _, m := range []string{"bs", "bsbr", "bslc", "bsbrc", "bsbrlc"} {
+			pred, err := Predict(sel.Params(), m, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel.Observe(m, f, 10*pred.Total())
+		}
+		pred, err := Predict(sel.Params(), "ds", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel.Observe("ds", f, pred.Total())
+	}
+	after, err := sel.Choose(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Method != "ds" && after.Method != "dfb" {
+		t.Fatalf("selector did not promote tile-routed methods after measurements favored them: %q (%v)",
+			after.Method, sel.Snapshot().Factors)
+	}
+}

@@ -41,3 +41,30 @@ func (a *arena) rect(r frame.Rect, extra int) []byte {
 	frame.PutRect(payload, r)
 	return payload
 }
+
+// Scratch hands the pooled arena to compositing subsystems outside this
+// package (internal/tilecomp), so their per-frame encode/send loops
+// reuse the same warm codec buffers and encodings the binary-swap
+// family does. Check one out per Composite call and Release it when the
+// call returns; a Scratch is for one goroutine's exclusive use.
+type Scratch struct{ a *arena }
+
+// GetScratch checks an arena out of the shared pool.
+func GetScratch() Scratch { return Scratch{a: getArena()} }
+
+// Release returns the arena to the pool.
+func (s Scratch) Release() { putArena(s.a) }
+
+// Grab returns an n-capacity wire buffer from the codec's storage.
+func (s Scratch) Grab(n int) []byte { return s.a.codec.Grab(n) }
+
+// Retain gives a sent payload's storage back to the codec for reuse
+// (mp.Comm.Send copies, so the buffer is free as soon as Send returns).
+func (s Scratch) Retain(buf []byte) { s.a.codec.Retain(buf) }
+
+// Rect starts a payload with an 8-byte rectangle header, reserving room
+// for extra more bytes of appended body.
+func (s Scratch) Rect(r frame.Rect, extra int) []byte { return s.a.rect(r, extra) }
+
+// Enc returns the reusable run-length encoding.
+func (s Scratch) Enc() *rle.Encoding { return &s.a.enc }

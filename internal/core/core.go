@@ -100,48 +100,6 @@ func checkWorld(c mp.Comm, dec *partition.Decomposition) error {
 	return nil
 }
 
-// New returns the named compositor; Names lists the recognized names.
-func New(name string) (Compositor, error) {
-	switch name {
-	case "bs":
-		return BS{}, nil
-	case "bsbr":
-		return BSBR{}, nil
-	case "bslc":
-		return BSLC{}, nil
-	case "bsbrc":
-		return BSBRC{}, nil
-	case "direct":
-		return DirectSend{}, nil
-	case "pipeline":
-		return Pipeline{}, nil
-	case "bintree":
-		return BinaryTree{}, nil
-	case "bsdpf":
-		return BSDPF{}, nil
-	case "bsvc":
-		return BSVC{}, nil
-	case "bsbrlc":
-		return BSBRLC{}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown compositor %q", name)
-	}
-}
-
-// Known reports whether name is a registered compositor, so admission
-// layers can validate a method name without constructing the compositor
-// or parsing New's error.
-func Known(name string) bool {
-	_, err := New(name)
-	return err == nil
-}
-
-// Names lists the compositors in the order the paper discusses them:
-// the four evaluated methods, the related-work baselines, then the
-// related-work encodings as binary-swap variants (§2/§3.3 ablations).
-func Names() []string {
-	return []string{"bs", "bsbr", "bslc", "bsbrc", "direct", "pipeline", "bintree", "bsdpf", "bsvc", "bsbrlc"}
-}
-
-// PaperMethods lists the four methods of the paper's evaluation.
-func PaperMethods() []string { return []string{"bs", "bsbr", "bslc", "bsbrc"} }
+// New, Known, Names, PaperMethods and the capability queries live in
+// registry.go: every method — built-in or subsystem-registered — enters
+// through one Register call carrying its capability flags.

@@ -12,8 +12,10 @@ import (
 func FuzzParseOwnership(f *testing.F) {
 	f.Add(RectOwn{R: frame.XYWH(1, 2, 3, 4)}.AppendWire(nil))
 	f.Add(IntervalOwn{W: 8, Iv: []Interval{{0, 5}, {9, 12}}}.AppendWire(nil))
+	f.Add(RectSetOwn{Rs: []frame.Rect{frame.XYWH(0, 0, 4, 4), frame.XYWH(8, 8, 4, 4)}}.AppendWire(nil))
 	f.Add([]byte{})
 	f.Add([]byte{ownKindInterval, 1, 0, 0, 0})
+	f.Add([]byte{ownKindRectSet, 2, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		own, _, err := ParseOwnership(data)
 		if err != nil {

@@ -37,6 +37,7 @@ type Ownership interface {
 const (
 	ownKindRect     = 0
 	ownKindInterval = 1
+	ownKindRectSet  = 2
 )
 
 // RectOwn is rectangular ownership.
@@ -86,6 +87,91 @@ func (o RectOwn) AppendWire(buf []byte) []byte {
 func (o RectOwn) Validate(full frame.Rect) error {
 	if !full.ContainsRect(o.R) {
 		return fmt.Errorf("core: owned rect %v outside frame %v", o.R, full)
+	}
+	return nil
+}
+
+// RectSetOwn is ownership of an ordered list of disjoint non-empty
+// rectangles — the tile set a tile-routed compositor owns. An empty list
+// is valid: with more ranks than tiles, some ranks own nothing. Pixels
+// travel in list order, row-major within each rectangle.
+type RectSetOwn struct {
+	Rs []frame.Rect
+}
+
+// Area implements Ownership.
+func (o RectSetOwn) Area() int {
+	n := 0
+	for _, r := range o.Rs {
+		n += r.Area()
+	}
+	return n
+}
+
+// Pack implements Ownership.
+func (o RectSetOwn) Pack(img *frame.Image) []frame.Pixel {
+	out := make([]frame.Pixel, 0, o.Area())
+	for _, r := range o.Rs {
+		out = append(out, img.PackRegion(r)...)
+	}
+	return out
+}
+
+// Unpack implements Ownership.
+func (o RectSetOwn) Unpack(img *frame.Image, px []frame.Pixel) error {
+	if len(px) != o.Area() {
+		return fmt.Errorf("core: %d pixels for rect set of %d", len(px), o.Area())
+	}
+	for _, r := range o.Rs {
+		img.StoreRegion(r, px[:r.Area()])
+		px = px[r.Area():]
+	}
+	return nil
+}
+
+// AppendPixels implements Ownership.
+func (o RectSetOwn) AppendPixels(img *frame.Image, buf []byte) []byte {
+	for _, r := range o.Rs {
+		buf = frame.EncodeRegion(img, r, buf)
+	}
+	return buf
+}
+
+// StoreWire implements Ownership.
+func (o RectSetOwn) StoreWire(img *frame.Image, wire []byte) error {
+	if len(wire) != o.Area()*frame.PixelBytes {
+		return fmt.Errorf("core: %d wire bytes for rect set of %d pixels",
+			len(wire), o.Area())
+	}
+	for _, r := range o.Rs {
+		n := r.Area() * frame.PixelBytes
+		img.StoreWire(r, wire[:n])
+		wire = wire[n:]
+	}
+	return nil
+}
+
+// AppendWire implements Ownership.
+func (o RectSetOwn) AppendWire(buf []byte) []byte {
+	buf = append(buf, ownKindRectSet)
+	buf = appendU32(buf, uint32(len(o.Rs)))
+	for _, r := range o.Rs {
+		var rb [frame.RectBytes]byte
+		frame.PutRect(rb[:], r)
+		buf = append(buf, rb[:]...)
+	}
+	return buf
+}
+
+// Validate implements Ownership.
+func (o RectSetOwn) Validate(full frame.Rect) error {
+	for _, r := range o.Rs {
+		if r.Empty() {
+			return fmt.Errorf("core: empty rect %v in rect-set ownership", r)
+		}
+		if !full.ContainsRect(r) {
+			return fmt.Errorf("core: owned rect %v outside frame %v", r, full)
+		}
 	}
 	return nil
 }
@@ -233,6 +319,19 @@ func ParseOwnership(buf []byte) (Ownership, []byte, error) {
 			}
 		}
 		return o, buf[int(n)*8:], nil
+	case ownKindRectSet:
+		n, buf, err := readU32(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(buf) < int(n)*frame.RectBytes {
+			return nil, nil, fmt.Errorf("core: truncated rect-set ownership")
+		}
+		o := RectSetOwn{Rs: make([]frame.Rect, n)}
+		for i := range o.Rs {
+			o.Rs[i] = frame.GetRect(buf[i*frame.RectBytes:])
+		}
+		return o, buf[int(n)*frame.RectBytes:], nil
 	default:
 		return nil, nil, fmt.Errorf("core: unknown ownership kind %d", kind)
 	}

@@ -1,0 +1,157 @@
+package core
+
+import "fmt"
+
+// Caps are a compositing method's capability flags. Admission (which
+// rank counts a method serves), the autotune selector (which methods the
+// model can rank), and the benches all read the same flags, so adding a
+// method means one Register call instead of editing parallel lists.
+type Caps struct {
+	// Paper marks one of the four methods of the paper's evaluation.
+	Paper bool
+	// Foldable marks a power-of-two binary-swap method that extends to
+	// any rank count through the core.Folded pre-stage.
+	Foldable bool
+	// NativeAnyP marks a method that runs at any rank count without the
+	// fold (the tile-routed family).
+	NativeAnyP bool
+	// ModelBacked marks a method autotune.Predict has a closed form for;
+	// these are the "auto" candidates.
+	ModelBacked bool
+	// WireEncoded marks a method whose messages carry sparse encoded
+	// payloads rather than dense pixel blocks.
+	WireEncoded bool
+}
+
+// ServesAnyP reports whether the method runs at non-power-of-two rank
+// counts (natively or through the fold).
+func (c Caps) ServesAnyP() bool { return c.NativeAnyP || c.Foldable }
+
+// Spec is one registered compositing method.
+type Spec struct {
+	Name string
+	Make func() Compositor
+	Caps Caps
+}
+
+var (
+	registry []Spec
+	regIndex = map[string]int{}
+)
+
+// Register adds a method to the registry. It must be called from package
+// init (this package registers the built-ins; internal/tilecomp adds the
+// tile-routed methods), so lookups never race with registration.
+func Register(s Spec) {
+	if s.Name == "" || s.Make == nil {
+		panic("core: Register needs a name and a constructor")
+	}
+	if _, dup := regIndex[s.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate compositor %q", s.Name))
+	}
+	regIndex[s.Name] = len(registry)
+	registry = append(registry, s)
+}
+
+// Lookup returns the named method's spec.
+func Lookup(name string) (Spec, bool) {
+	i, ok := regIndex[name]
+	if !ok {
+		return Spec{}, false
+	}
+	return registry[i], true
+}
+
+// Specs returns the registered methods in registration order: the
+// paper's four, the baselines, the encoding variants, then any
+// subsystem-registered methods.
+func Specs() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// New returns the named compositor; Names lists the recognized names.
+func New(name string) (Compositor, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown compositor %q", name)
+	}
+	return s.Make(), nil
+}
+
+// Known reports whether name is a registered compositor, so admission
+// layers can validate a method name without constructing the compositor
+// or parsing New's error.
+func Known(name string) bool {
+	_, ok := regIndex[name]
+	return ok
+}
+
+// Names lists the compositors in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// PaperMethods lists the four methods of the paper's evaluation.
+func PaperMethods() []string { return namesWhere(func(c Caps) bool { return c.Paper }) }
+
+// ModelBacked lists the methods the cost model has closed forms for —
+// the candidate set of autotune's per-frame argmin.
+func ModelBacked() []string { return namesWhere(func(c Caps) bool { return c.ModelBacked }) }
+
+// ServesAnyP reports whether the named method runs at non-power-of-two
+// rank counts; false for unknown names.
+func ServesAnyP(name string) bool {
+	s, ok := Lookup(name)
+	return ok && s.Caps.ServesAnyP()
+}
+
+// Pow2OnlyMethods lists the registered methods restricted to
+// power-of-two rank counts, for admission errors that name them.
+func Pow2OnlyMethods() []string { return namesWhere(func(c Caps) bool { return !c.ServesAnyP() }) }
+
+// AnyPMethods lists the registered methods serving any rank count.
+func AnyPMethods() []string { return namesWhere(Caps.ServesAnyP) }
+
+func namesWhere(pred func(Caps) bool) []string {
+	var out []string
+	for _, s := range registry {
+		if pred(s.Caps) {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// The built-in methods, in the order the paper discusses them: the four
+// evaluated methods, the related-work baselines, then the related-work
+// encodings as binary-swap variants (§2/§3.3 ablations).
+func init() {
+	for _, s := range []Spec{
+		{Name: "bs", Make: func() Compositor { return BS{} },
+			Caps: Caps{Paper: true, Foldable: true, ModelBacked: true}},
+		{Name: "bsbr", Make: func() Compositor { return BSBR{} },
+			Caps: Caps{Paper: true, Foldable: true, ModelBacked: true}},
+		{Name: "bslc", Make: func() Compositor { return BSLC{} },
+			Caps: Caps{Paper: true, Foldable: true, ModelBacked: true, WireEncoded: true}},
+		{Name: "bsbrc", Make: func() Compositor { return BSBRC{} },
+			Caps: Caps{Paper: true, Foldable: true, ModelBacked: true, WireEncoded: true}},
+		{Name: "direct", Make: func() Compositor { return DirectSend{} }},
+		{Name: "pipeline", Make: func() Compositor { return Pipeline{} }},
+		{Name: "bintree", Make: func() Compositor { return BinaryTree{} },
+			Caps: Caps{WireEncoded: true}},
+		{Name: "bsdpf", Make: func() Compositor { return BSDPF{} },
+			Caps: Caps{Foldable: true}},
+		{Name: "bsvc", Make: func() Compositor { return BSVC{} },
+			Caps: Caps{Foldable: true, WireEncoded: true}},
+		{Name: "bsbrlc", Make: func() Compositor { return BSBRLC{} },
+			Caps: Caps{Foldable: true, ModelBacked: true, WireEncoded: true}},
+	} {
+		Register(s)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+// The registry serves every list the system previously hardcoded; the
+// built-ins must be present with coherent capability flags.
+func TestRegistryLists(t *testing.T) {
+	if len(PaperMethods()) != 4 {
+		t.Fatalf("paper methods: %v", PaperMethods())
+	}
+	for _, name := range []string{"bs", "bsbr", "bslc", "bsbrc", "direct", "pipeline", "bintree", "bsdpf", "bsvc", "bsbrlc"} {
+		if !Known(name) {
+			t.Errorf("built-in %q not registered", name)
+		}
+	}
+	names := map[string]bool{}
+	for _, s := range Specs() {
+		if names[s.Name] {
+			t.Errorf("duplicate spec %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Caps.Paper && !s.Caps.ModelBacked {
+			t.Errorf("%q: paper methods must be model-backed", s.Name)
+		}
+		if s.Caps.Foldable && s.Caps.NativeAnyP {
+			t.Errorf("%q: foldable and natively any-P are exclusive", s.Name)
+		}
+		c, err := New(s.Name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", s.Name, err)
+		}
+		if c.Name() == "" {
+			t.Errorf("New(%q) has no display name", s.Name)
+		}
+	}
+	// Pow2-only and any-P partition the registry.
+	if len(Pow2OnlyMethods())+len(AnyPMethods()) != len(Names()) {
+		t.Errorf("pow2-only %v + any-P %v != all %v",
+			Pow2OnlyMethods(), AnyPMethods(), Names())
+	}
+	for _, name := range Pow2OnlyMethods() {
+		if ServesAnyP(name) {
+			t.Errorf("%q both pow2-only and any-P", name)
+		}
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if Known("nope") || ServesAnyP("nope") {
+		t.Error("unknown name recognized")
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("New must reject unknown names")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup must reject unknown names")
+	}
+}
+
+func TestRegisterRejectsBadSpecs(t *testing.T) {
+	mustPanic := func(label string, s Spec) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", label)
+			}
+		}()
+		Register(s)
+	}
+	mustPanic("empty name", Spec{Make: func() Compositor { return BS{} }})
+	mustPanic("nil make", Spec{Name: "x"})
+	mustPanic("duplicate", Spec{Name: "bs", Make: func() Compositor { return BS{} }})
+}

@@ -5,19 +5,19 @@ import (
 	"sortlast/internal/partition"
 )
 
-// CompositeSequential composites the per-rank subimages on a single
-// processor by walking the decomposition's depth order front-to-back —
+// CompositeSequentialLayout composites the per-rank subimages on a
+// single processor by walking the layout's depth order front-to-back —
 // the reference every parallel compositor must match. It is used by the
 // validation mode of the harness and by tests; it does not touch the
 // input images.
-func CompositeSequential(imgs []*frame.Image, dec *partition.Decomposition,
+func CompositeSequentialLayout(imgs []*frame.Image, lay partition.Layout,
 	viewDir [3]float64) *frame.Image {
 	if len(imgs) == 0 {
 		return nil
 	}
 	full := imgs[0].Full()
 	out := frame.NewImage(full.Dx(), full.Dy())
-	for _, r := range dec.DepthOrder(viewDir) {
+	for _, r := range lay.DepthOrder(viewDir) {
 		img := imgs[r]
 		b := img.Bounds()
 		if b.Empty() {
@@ -30,22 +30,16 @@ func CompositeSequential(imgs []*frame.Image, dec *partition.Decomposition,
 	return out
 }
 
+// CompositeSequential is the sequential reference over a power-of-two
+// decomposition.
+func CompositeSequential(imgs []*frame.Image, dec *partition.Decomposition,
+	viewDir [3]float64) *frame.Image {
+	return CompositeSequentialLayout(imgs, dec, viewDir)
+}
+
 // CompositeSequentialFold is the sequential reference for a fold plan
 // (arbitrary rank counts).
 func CompositeSequentialFold(imgs []*frame.Image, plan *partition.FoldPlan,
 	viewDir [3]float64) *frame.Image {
-	if len(imgs) == 0 {
-		return nil
-	}
-	full := imgs[0].Full()
-	out := frame.NewImage(full.Dx(), full.Dy())
-	for _, r := range plan.DepthOrder(viewDir) {
-		img := imgs[r]
-		b := img.Bounds()
-		if b.Empty() {
-			continue
-		}
-		out.CompositeImage(img, b, false)
-	}
-	return out
+	return CompositeSequentialLayout(imgs, plan, viewDir)
 }

@@ -1,0 +1,82 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func testSparsity(p int) Sparsity {
+	return Sparsity{Area: 384 * 384, Alpha: 0.05, Beta: 0.2, FrameCodes: 2 * 4 * 384, P: p}
+}
+
+// The tile-routed forms share the binary-swap gloss, so their scale must
+// be comparable: same bounding/encode/over terms, differing in startup
+// count and framing.
+func TestTileRoutedFormsAreSane(t *testing.T) {
+	p := SP2()
+	for _, ranks := range []int{2, 3, 8, 16, 64} {
+		f := testSparsity(ranks)
+		ds := p.DirectSendCost(f)
+		dfb := p.TileRoutedCost(f, 64)
+		for label, c := range map[string]Cost{"ds": ds, "dfb": dfb} {
+			if c.Comp <= 0 || c.Comm <= 0 {
+				t.Fatalf("%s P=%d: non-positive cost %+v", label, ranks, c)
+			}
+		}
+		// Identical computation: both scan, encode and composite the same
+		// modeled pixel volumes.
+		if ds.Comp != dfb.Comp {
+			t.Errorf("P=%d: comp ds %v != dfb %v", ranks, ds.Comp, dfb.Comp)
+		}
+		// dfb pays extra framing (tile entries, batch counts, boundary
+		// codes) over the same pixels, so its comm is strictly higher.
+		if dfb.Comm <= ds.Comm {
+			t.Errorf("P=%d: dfb comm %v not above ds comm %v", ranks, dfb.Comm, ds.Comm)
+		}
+	}
+}
+
+// More startup messages at higher P: the ds comm cost must grow with P
+// through the Ts·(P-1) term.
+func TestDirectSendStartupGrowsWithP(t *testing.T) {
+	p := Params{Ts: time.Millisecond} // isolate the startup term
+	c2 := p.DirectSendCost(testSparsity(2))
+	c8 := p.DirectSendCost(testSparsity(8))
+	if c8.Comm != 7*c2.Comm {
+		t.Fatalf("startup not linear in P-1: P=2 %v, P=8 %v", c2.Comm, c8.Comm)
+	}
+}
+
+// Smaller tiles mean more framing: dfb comm must be monotonically
+// non-increasing in tile edge.
+func TestTileRoutedFramingShrinksWithTile(t *testing.T) {
+	p := SP2()
+	f := testSparsity(8)
+	prev := time.Duration(1 << 62)
+	for _, tile := range []int{4, 16, 64, 256} {
+		c := p.TileRoutedCost(f, tile)
+		if c.Comm > prev {
+			t.Fatalf("tile=%d: comm %v grew from %v", tile, c.Comm, prev)
+		}
+		prev = c.Comm
+	}
+	if got := p.TileRoutedCost(f, 0); got != (Cost{}) {
+		t.Fatalf("non-positive tile must cost zero, got %+v", got)
+	}
+}
+
+// Degenerate and out-of-range sparsity inputs must clamp, not blow up.
+func TestSparsityClamping(t *testing.T) {
+	p := SP2()
+	wild := Sparsity{Area: 1000, Alpha: 7, Beta: -2, FrameCodes: -5, P: 0}
+	c := p.DirectSendCost(wild)
+	if c.Comp < 0 || c.Comm < 0 {
+		t.Fatalf("negative cost from clamped inputs: %+v", c)
+	}
+	// Beta rises to alpha: a rectangle can never be smaller than its
+	// content.
+	a, b, pf := clampSparsity(Sparsity{Alpha: 0.5, Beta: 0.1, P: 4})
+	if a != 0.5 || b != 0.5 || pf != 4 {
+		t.Fatalf("clampSparsity = %v %v %v", a, b, pf)
+	}
+}

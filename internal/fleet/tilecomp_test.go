@@ -1,0 +1,78 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"sortlast/internal/client"
+	"sortlast/internal/fleet"
+	"sortlast/internal/server"
+)
+
+// The fleet tier must route and frame-cache tile-routed requests like
+// any other method — including at a non-power-of-two replica world
+// size, which only ds/dfb serve natively.
+func TestFleetServesTileRoutedNonPow2(t *testing.T) {
+	const p = 3
+	g, err := fleet.Start(twoReplicaConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(g.Addr().String())
+	defer func() {
+		cl.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := g.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	// Two cameras, three requests each: the first per camera misses and
+	// is rendered by a replica, repeats are frame-cache hits.
+	reqs := []server.Request{
+		{Dataset: "cube", Method: "dfb", Width: 48, Height: 48, RotY: 0},
+		{Dataset: "cube", Method: "dfb", Width: 48, Height: 48, RotY: 25},
+	}
+	refs := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		refs[i] = referenceGray(t, r, p)
+	}
+	cached := 0
+	for round := 0; round < 3; round++ {
+		for i, r := range reqs {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			f, err := cl.Render(ctx, r)
+			cancel()
+			if err != nil {
+				t.Fatalf("round %d req %d: %v", round, i, err)
+			}
+			if !bytes.Equal(f.Gray, refs[i]) {
+				t.Fatalf("round %d req %d (cached=%v): dfb frame differs from one-shot run",
+					round, i, f.Stats.Cached)
+			}
+			if f.Stats.Cached {
+				cached++
+			} else if f.Stats.Replica == 0 {
+				t.Errorf("round %d req %d: fresh frame reports no routing replica", round, i)
+			}
+		}
+	}
+	if cached != 4 {
+		t.Errorf("frame cache absorbed %d of 4 repeat requests", cached)
+	}
+	st := g.Stats()
+	if st.CacheHits != int64(cached) {
+		t.Errorf("gateway counted %d hits, client observed %d", st.CacheHits, cached)
+	}
+	var frames int64
+	for _, r := range st.Replicas {
+		frames += r.Frames
+	}
+	if frames+st.CacheHits != int64(st.Requests) {
+		t.Errorf("routing accounting: %d replica frames + %d hits != %d requests",
+			frames, st.CacheHits, st.Requests)
+	}
+}

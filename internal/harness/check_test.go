@@ -23,6 +23,8 @@ func TestConfigCheck(t *testing.T) {
 		{"unknown method", func(c *Config) { c.Method = "nope" }, "nope"},
 		{"non-pow2 binary swap ok", func(c *Config) { c.P = 6 }, ""},
 		{"non-pow2 direct send", func(c *Config) { c.P = 6; c.Method = "direct" }, "power-of-two"},
+		{"non-pow2 ds ok", func(c *Config) { c.P = 6; c.Method = "ds" }, ""},
+		{"non-pow2 dfb ok", func(c *Config) { c.P = 6; c.Method = "dfb" }, ""},
 		{"non-pow2 balanced render", func(c *Config) { c.P = 6; c.BalanceRender = true }, "power-of-two"},
 	}
 	for _, tc := range cases {

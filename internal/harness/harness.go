@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/bits"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"sortlast/internal/partition"
 	"sortlast/internal/render"
 	"sortlast/internal/stats"
+	"sortlast/internal/tilecomp"
 	"sortlast/internal/trace"
 	"sortlast/internal/transfer"
 	"sortlast/internal/volume"
@@ -44,9 +46,10 @@ type Config struct {
 
 	Width, Height int
 	P             int
-	// Method is a core registry name (bs, bsbr, bslc, bsbrc, ...) or
-	// "auto": the cost model picks the cheapest binary-swap method per
-	// frame from the frame's sparsity features (see internal/autotune).
+	// Method is a core registry name (bs, bsbr, bslc, bsbrc, ds, dfb,
+	// ...) or "auto": the cost model picks the cheapest model-backed
+	// method per frame from the frame's sparsity features (see
+	// internal/autotune).
 	Method string
 
 	// RotX and RotY rotate the viewpoint (degrees), the paper's §3.2
@@ -76,6 +79,9 @@ type Config struct {
 
 	// Granularity is BSLC's interleave section size (0: one scanline).
 	Granularity int
+
+	// Tile is the dfb tile edge in pixels (0: tilecomp.DefaultTile).
+	Tile int
 
 	// DistributeVolume exercises the partitioning phase: rank 0 extracts
 	// subvolumes with ghost cells and scatters them, and each rank
@@ -121,7 +127,10 @@ type Row struct {
 	MakespanMS float64
 
 	MeasuredCompMS float64 // measured compositing compute, max over ranks
-	RenderMS       float64 // measured rendering wall, max over ranks
+	// WallMS is the measured compositing wall time including
+	// communication waits, max over ranks — what a frame actually paid.
+	WallMS   float64
+	RenderMS float64 // measured rendering wall, max over ranks
 
 	// RenderSkipFrac is the fraction of candidate ray samples the
 	// macro-cell empty-space skipping removed, aggregated over ranks
@@ -214,14 +223,31 @@ func (cfg *Config) params() costmodel.Params {
 	return cfg.Params
 }
 
-// newCompositor builds the configured compositor, wrapping it in the
-// non-power-of-two fold when needed.
-func (cfg *Config) newCompositor(vol *volume.Volume) (core.Compositor, *partition.Decomposition, func(int) volume.Box, error) {
+// Pow2MethodError reports a method that cannot serve the requested
+// non-power-of-two rank count. Admission layers (renderd) detect it with
+// errors.As so the rejection can name the any-P alternatives.
+type Pow2MethodError struct {
+	Method string
+	P      int
+}
+
+func (e *Pow2MethodError) Error() string {
+	return fmt.Sprintf("harness: method %q requires a power-of-two P, got %d (any-P methods: %s)",
+		e.Method, e.P, strings.Join(core.AnyPMethods(), ", "))
+}
+
+// newCompositor builds the configured compositor plus the rank geometry
+// it runs over. At non-power-of-two P, foldable binary-swap methods wrap
+// in the core.Folded pre-stage, while natively any-P methods (the
+// tile-routed family) take the fold plan as pure geometry — per-rank
+// boxes and a global depth order, no fold messages.
+func (cfg *Config) newCompositor(vol *volume.Volume) (core.Compositor, *partition.Decomposition, partition.Layout, error) {
 	bounds := vol.Bounds()
 	inner, err := core.New(cfg.Method)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	spec, _ := core.Lookup(cfg.Method)
 	if b, ok := inner.(core.BSLC); ok {
 		b.Granularity = cfg.Granularity
 		inner = b
@@ -230,7 +256,11 @@ func (cfg *Config) newCompositor(vol *volume.Volume) (core.Compositor, *partitio
 		b.Granularity = cfg.Granularity
 		inner = b
 	}
-	if cfg.P&(cfg.P-1) == 0 {
+	if b, ok := inner.(tilecomp.DFB); ok {
+		b.Tile = cfg.Tile
+		inner = b
+	}
+	if IsPow2(cfg.P) {
 		var dec *partition.Decomposition
 		if cfg.BalanceRender {
 			dec, err = partition.DecomposeWeighted(bounds, cfg.P,
@@ -241,22 +271,30 @@ func (cfg *Config) newCompositor(vol *volume.Volume) (core.Compositor, *partitio
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		return inner, dec, dec.Box, nil
+		return inner, dec, dec, nil
 	}
 	if cfg.BalanceRender {
 		return nil, nil, nil, fmt.Errorf("harness: BalanceRender requires a power-of-two P, got %d", cfg.P)
 	}
-	switch cfg.Method {
-	case "bs", "bsbr", "bslc", "bsbrc", "bsdpf", "bsvc", "bsbrlc":
-	default:
-		return nil, nil, nil, fmt.Errorf("harness: method %q requires a power-of-two P, got %d",
-			cfg.Method, cfg.P)
+	if !spec.Caps.ServesAnyP() {
+		return nil, nil, nil, &Pow2MethodError{Method: cfg.Method, P: cfg.P}
 	}
 	plan, err := partition.PlanFold(bounds, cfg.P)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return &core.Folded{Plan: plan, Inner: inner}, plan.Dec, plan.Box, nil
+	if spec.Caps.NativeAnyP {
+		switch v := inner.(type) {
+		case tilecomp.DS:
+			v.Lay = plan
+			inner = v
+		case tilecomp.DFB:
+			v.Lay = plan
+			inner = v
+		}
+		return inner, plan.Dec, plan, nil
+	}
+	return &core.Folded{Plan: plan, Inner: inner}, plan.Dec, plan, nil
 }
 
 // Run executes the experiment and returns its table row.
@@ -339,7 +377,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 			final = out
 		}
 		if cfg.Validate {
-			d, err := validateAgainstSequential(c, plan.Comp, plan.Dec, plan.Cam.Dir, pristine, out)
+			d, err := validateAgainstSequential(c, plan.Lay, plan.Cam.Dir, pristine, out)
 			if err != nil {
 				return err
 			}
@@ -390,6 +428,7 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 		}
 	}
 	row.RenderMS = ms(maxRender)
+	row.WallMS = ms(maxComposite)
 	row.ValidateDiff = validateDiff
 	row.Auto = plan.Choice != nil
 	// Close the adaptive loop: this frame's counters and measured
@@ -405,10 +444,11 @@ func run(cfg Config, wantImage bool) (*Row, *frame.Image, []*stats.Rank, error) 
 }
 
 // validateAgainstSequential gathers every rank's pristine subimage at
-// rank 0, composites them sequentially in depth order, and compares with
-// the parallel result.
-func validateAgainstSequential(c mp.Comm, comp core.Compositor,
-	dec *partition.Decomposition, viewDir [3]float64,
+// rank 0, composites them sequentially in the layout's depth order, and
+// compares with the parallel result. One reference path serves every
+// method at every rank count: folded worlds and the tile-routed methods
+// alike resolve to a partition.Layout.
+func validateAgainstSequential(c mp.Comm, lay partition.Layout, viewDir [3]float64,
 	pristine, final *frame.Image) (float64, error) {
 	b := pristine.Bounds()
 	payload := make([]byte, frame.RectBytes, frame.RectBytes+b.Area()*frame.PixelBytes)
@@ -437,12 +477,7 @@ func validateAgainstSequential(c mp.Comm, comp core.Compositor,
 		}
 		imgs[r] = img
 	}
-	var ref *frame.Image
-	if folded, ok := comp.(*core.Folded); ok {
-		ref = core.CompositeSequentialFold(imgs, folded.Plan, viewDir)
-	} else {
-		ref = core.CompositeSequential(imgs, dec, viewDir)
-	}
+	ref := core.CompositeSequentialLayout(imgs, lay, viewDir)
 	d := ref.MaxAbsDiff(final, full)
 	if d > 1e-9 {
 		return d, fmt.Errorf("harness: parallel result differs from sequential reference by %g", d)

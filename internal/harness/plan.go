@@ -29,7 +29,11 @@ type Plan struct {
 	TF   *transfer.Func
 	Comp core.Compositor
 	Dec  *partition.Decomposition
-	Cam  *render.Camera
+	// Lay is the rank geometry the world actually runs over: the
+	// decomposition at power-of-two P, the fold plan otherwise. Box and
+	// the sequential validation reference both read it.
+	Lay partition.Layout
+	Cam *render.Camera
 
 	// Selector and Choice are set when the config requested Method
 	// "auto": Choice is the per-frame selection decision (Cfg.Method
@@ -37,8 +41,6 @@ type Plan struct {
 	// tuner the run's measurements feed back into.
 	Selector *autotune.Selector
 	Choice   *autotune.Choice
-
-	boxOf func(int) volume.Box
 }
 
 // NewPlan resolves cfg into an executable per-frame plan. Method "auto"
@@ -72,7 +74,7 @@ func NewPlan(cfg Config) (*Plan, error) {
 		cfg.Method = ch.Method
 		choice = &ch
 	}
-	comp, dec, boxOf, err := cfg.newCompositor(vol)
+	comp, dec, lay, err := cfg.newCompositor(vol)
 	if err != nil {
 		return nil, err
 	}
@@ -85,11 +87,10 @@ func NewPlan(cfg Config) (*Plan, error) {
 	}
 	return &Plan{
 		Cfg: cfg, Vol: vol, TF: tf,
-		Comp: comp, Dec: dec,
+		Comp: comp, Dec: dec, Lay: lay,
 		Cam:      render.NewCamera(cfg.Width, cfg.Height, vol.Bounds(), cfg.RotX, cfg.RotY),
 		Selector: sel,
 		Choice:   choice,
-		boxOf:    boxOf,
 	}, nil
 }
 
@@ -108,7 +109,7 @@ func (p *Plan) ObserveFrame(ranks []*stats.Rank, compositeWall time.Duration) {
 
 // Box returns the subvolume assigned to rank me (the fold plan's box for
 // non-power-of-two worlds).
-func (p *Plan) Box(me int) volume.Box { return p.boxOf(me) }
+func (p *Plan) Box(me int) volume.Box { return p.Lay.Box(me) }
 
 // RenderRank runs the rendering phase for rank me from the shared
 // volume and returns its subimage. Callers that distributed subvolumes
@@ -139,7 +140,7 @@ func (p *Plan) RenderRankFrom(src volumeSource, me int) *frame.Image {
 func (p *Plan) renderFrom(src volumeSource, me int, tr *trace.Rank, rs *render.Stats) *frame.Image {
 	m := tr.Begin()
 	defer tr.End(m, trace.SpanRender, "")
-	box := p.boxOf(me)
+	box := p.Lay.Box(me)
 	if p.Cfg.Surface {
 		iso := p.Cfg.IsoLevel
 		if iso == 0 {
@@ -219,7 +220,7 @@ func (cfg *Config) Check() error {
 		return fmt.Errorf("harness: P = %d must be positive", cfg.P)
 	}
 	// "auto" resolves at plan time to one of the selector's candidates,
-	// all of which support the non-power-of-two fold.
+	// all of which serve any rank count (fold or natively).
 	if !autotune.IsAuto(cfg.Method) {
 		if _, err := core.New(cfg.Method); err != nil {
 			return err
@@ -229,10 +230,8 @@ func (cfg *Config) Check() error {
 		if cfg.BalanceRender {
 			return fmt.Errorf("harness: BalanceRender requires a power-of-two P, got %d", cfg.P)
 		}
-		switch cfg.Method {
-		case "bs", "bsbr", "bslc", "bsbrc", "bsdpf", "bsvc", "bsbrlc", autotune.MethodAuto:
-		default:
-			return fmt.Errorf("harness: method %q requires a power-of-two P, got %d", cfg.Method, cfg.P)
+		if !autotune.IsAuto(cfg.Method) && !core.ServesAnyP(cfg.Method) {
+			return &Pow2MethodError{Method: cfg.Method, P: cfg.P}
 		}
 	}
 	return nil

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+)
+
+// The tile-routed methods run natively at any P and must reproduce the
+// sequential composite bit-for-bit, dense or sparse, pow-2 or not.
+func TestTileRoutedValidateAnyP(t *testing.T) {
+	for _, m := range []string{"ds", "dfb"} {
+		for _, p := range []int{2, 3, 4, 6, 8, 16} {
+			cfg := smallCfg(m, p)
+			cfg.Validate = true
+			cfg.RenderOpts.EarlyTermination = -1
+			row, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", m, p, err)
+			}
+			if row.ValidateDiff != 0 {
+				t.Errorf("%s P=%d: diff %g from sequential", m, p, row.ValidateDiff)
+			}
+			if row.NonBlank == 0 {
+				t.Errorf("%s P=%d: blank final image", m, p)
+			}
+			if row.WallMS <= 0 {
+				t.Errorf("%s P=%d: no wall time measured: %+v", m, p, row)
+			}
+		}
+	}
+}
+
+// At a non-power-of-two P the tile-routed image must match the folded
+// binary-swap image exactly: same render, different routing.
+func TestTileRoutedMatchesFoldedAtNonPow2(t *testing.T) {
+	ref := smallCfg("bsbrc", 6)
+	ref.RenderOpts.EarlyTermination = -1
+	_, want, err := RunWithImage(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"ds", "dfb"} {
+		cfg := smallCfg(m, 6)
+		cfg.RenderOpts.EarlyTermination = -1
+		row, img, err := RunWithImage(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if d := want.MaxAbsDiff(img, want.Full()); d != 0 {
+			t.Errorf("%s image differs from folded bsbrc by %g", m, d)
+		}
+		if row.Method == "BSBRC+fold" {
+			t.Errorf("%s ran folded; should run natively", m)
+		}
+	}
+}
+
+// The Tile knob must reach the DFB compositor and leave the image exact.
+func TestTileRoutedTileKnob(t *testing.T) {
+	for _, tile := range []int{5, 16, 512} {
+		cfg := smallCfg("dfb", 3)
+		cfg.Tile = tile
+		cfg.Validate = true
+		cfg.RenderOpts.EarlyTermination = -1
+		row, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("tile=%d: %v", tile, err)
+		}
+		if row.ValidateDiff != 0 {
+			t.Errorf("tile=%d: diff %g from sequential", tile, row.ValidateDiff)
+		}
+	}
+}
+
+// Methods that cannot serve a non-power-of-two world must fail admission
+// with the typed error so the serving tier can name alternatives.
+func TestPow2MethodErrorTyped(t *testing.T) {
+	cfg := smallCfg("direct", 6)
+	for _, err := range []error{cfg.Check(), func() error { _, e := Run(cfg); return e }()} {
+		var pe *Pow2MethodError
+		if !errors.As(err, &pe) {
+			t.Fatalf("error %v is not a *Pow2MethodError", err)
+		}
+		if pe.Method != "direct" || pe.P != 6 {
+			t.Errorf("typed error fields: %+v", pe)
+		}
+	}
+}

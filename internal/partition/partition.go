@@ -23,6 +23,32 @@ import (
 	"sortlast/internal/volume"
 )
 
+// Layout is the geometric contract a compositor needs from a partition:
+// how many ranks there are, which subvolume each renders, and a
+// view-dependent front-to-back rank order. Both *Decomposition (power of
+// two) and *FoldPlan (any rank count) satisfy it, so compositors that
+// never use binary-swap pairing — the tile-routed family — run at any P
+// against either geometry.
+type Layout interface {
+	Size() int
+	Box(r int) volume.Box
+	// DepthOrder returns all ranks sorted front-to-back for the view
+	// direction: sequential compositing in this order reproduces any
+	// correct parallel schedule.
+	DepthOrder(viewDir [3]float64) []int
+}
+
+// PowerOfTwoError reports a rank count the kd decomposition cannot
+// serve. Admission layers unwrap it to tell the client *which* methods
+// need a power-of-two P instead of surfacing a generic failure.
+type PowerOfTwoError struct {
+	P int
+}
+
+func (e *PowerOfTwoError) Error() string {
+	return fmt.Sprintf("partition: rank count %d is not a positive power of two", e.P)
+}
+
 // Decomposition is a kd-tree partition of a root box over P = 2^Depth
 // ranks.
 type Decomposition struct {
@@ -38,7 +64,7 @@ type Decomposition struct {
 // possible — the shape that keeps screen footprints compact.
 func Decompose(root volume.Box, p int) (*Decomposition, error) {
 	if p <= 0 || p&(p-1) != 0 {
-		return nil, fmt.Errorf("partition: rank count %d is not a positive power of two", p)
+		return nil, &PowerOfTwoError{P: p}
 	}
 	if root.Empty() {
 		return nil, fmt.Errorf("partition: empty root box %v", root)

@@ -32,7 +32,7 @@ type WorkEstimator interface {
 // decomposition.
 func DecomposeWeighted(root volume.Box, p int, est WorkEstimator) (*Decomposition, error) {
 	if p <= 0 || p&(p-1) != 0 {
-		return nil, fmt.Errorf("partition: rank count %d is not a positive power of two", p)
+		return nil, &PowerOfTwoError{P: p}
 	}
 	if root.Empty() {
 		return nil, fmt.Errorf("partition: empty root box %v", root)

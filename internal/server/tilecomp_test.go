@@ -1,0 +1,84 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sortlast/internal/client"
+	"sortlast/internal/harness"
+	"sortlast/internal/render"
+	"sortlast/internal/server"
+)
+
+// sequentialGray runs the request through the harness with validation
+// on, so the returned image is asserted byte-identical to the
+// sequential compositing oracle before it becomes the reference.
+func sequentialGray(t *testing.T, req server.Request, p int) []byte {
+	t.Helper()
+	row, img, err := harness.RunWithImage(harness.Config{
+		Dataset: req.Dataset, Method: req.Method,
+		Width: req.Width, Height: req.Height,
+		P:        p,
+		RotX:     req.RotX, RotY: req.RotY,
+		Validate: true,
+		RenderOpts: render.Options{Shaded: req.Shaded},
+	})
+	if err != nil {
+		t.Fatalf("oracle run %+v: %v", req, err)
+	}
+	if row.ValidateDiff != 0 {
+		t.Fatalf("oracle run %+v: parallel differs from sequential by %g", req, row.ValidateDiff)
+	}
+	return img.AppendGray(nil)
+}
+
+// A renderd world with a non-power-of-two rank count serves the
+// tile-routed methods natively, byte-identical to the sequential
+// oracle.
+func TestServeTileRoutedNonPow2(t *testing.T) {
+	for _, p := range []int{3, 6} {
+		_, cl := startServer(t, server.Config{P: p, DefaultDeadline: time.Minute})
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		for _, m := range []string{"ds", "dfb"} {
+			req := server.Request{Dataset: "cube", Method: m, Width: 48, Height: 48, RotY: 20}
+			want := sequentialGray(t, req, p)
+			f, err := cl.Render(ctx, req)
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", p, m, err)
+			}
+			if !bytes.Equal(f.Gray, want) {
+				t.Errorf("P=%d %s: served image differs from sequential oracle", p, m)
+			}
+		}
+		cancel()
+	}
+}
+
+// Admission at a non-power-of-two world must reject pow-2-only methods
+// with a bad-request error that names the any-P alternatives, so a
+// client knows what to ask for instead.
+func TestServeNonPow2AdmissionNamesAlternatives(t *testing.T) {
+	_, cl := startServer(t, server.Config{P: 6, DefaultDeadline: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_, err := cl.Render(ctx, server.Request{Dataset: "cube", Method: "direct", Width: 32, Height: 32})
+	if !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("pow-2-only method at P=6: got %v, want ErrBadRequest", err)
+	}
+	for _, alt := range []string{"ds", "dfb"} {
+		if !strings.Contains(err.Error(), alt) {
+			t.Errorf("rejection %q does not name any-P alternative %q", err, alt)
+		}
+	}
+	// The same world still serves binary swap (folded) and the
+	// tile-routed pair.
+	for _, m := range []string{"bsbrc", "ds"} {
+		if _, err := cl.Render(ctx, server.Request{Dataset: "cube", Method: m, Width: 32, Height: 32}); err != nil {
+			t.Errorf("method %s after rejection: %v", m, err)
+		}
+	}
+}

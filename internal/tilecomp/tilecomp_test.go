@@ -1,0 +1,283 @@
+package tilecomp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sortlast/internal/core"
+	"sortlast/internal/frame"
+	"sortlast/internal/mp"
+	"sortlast/internal/partition"
+	"sortlast/internal/render"
+	"sortlast/internal/rle"
+	"sortlast/internal/transfer"
+	"sortlast/internal/volume"
+)
+
+func testOpts() mp.Options { return mp.Options{RecvTimeout: 20 * time.Second} }
+
+func testRoot() volume.Box { return volume.Box{Hi: [3]int{64, 64, 64}} }
+
+// randImage fills a w x h frame at the given foreground density: a few
+// random blobs at low density (a meaningful bounding rectangle), near
+// full coverage at density 1.
+func randImage(rng *rand.Rand, w, h int, density float64) *frame.Image {
+	img := frame.NewImage(w, h)
+	if density >= 1 {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				img.Set(x, y, frame.Pixel{I: rng.Float64(), A: 0.2 + 0.8*rng.Float64()})
+			}
+		}
+		return img
+	}
+	// Blobs totaling ~density of the frame.
+	target := int(density * float64(w*h))
+	for placed := 0; placed < target; {
+		bw, bh := 1+rng.Intn(w/2), 1+rng.Intn(h/2)
+		x0, y0 := rng.Intn(w), rng.Intn(h)
+		for y := y0; y < y0+bh && y < h; y++ {
+			for x := x0; x < x0+bw && x < w; x++ {
+				if rng.Float64() < 0.7 {
+					img.Set(x, y, frame.Pixel{I: rng.Float64(), A: rng.Float64()})
+					placed++
+				}
+			}
+		}
+	}
+	return img
+}
+
+// runLayout runs comp over a p-rank in-process world with the given
+// per-rank subimages and returns the image gathered at rank 0. The
+// decomposition argument is nil on purpose: the compositor must resolve
+// its configured layout.
+func runLayout(t *testing.T, comp core.Compositor, p int, viewDir [3]float64,
+	imgs []*frame.Image) *frame.Image {
+	t.Helper()
+	var final *frame.Image
+	err := mp.Run(p, testOpts(), func(c mp.Comm) error {
+		res, err := comp.Composite(c, nil, viewDir, imgs[c.Rank()])
+		if err != nil {
+			return err
+		}
+		out, err := core.GatherImage(c, 0, res)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			final = out
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s P=%d: %v", comp.Name(), p, err)
+	}
+	if final == nil {
+		t.Fatalf("%s P=%d: no final image at root", comp.Name(), p)
+	}
+	return final
+}
+
+// requireIdentical asserts got equals want byte for byte — the identity
+// bar for the tile-routed methods, not an epsilon.
+func requireIdentical(t *testing.T, label string, got, want *frame.Image) {
+	t.Helper()
+	full := want.Full()
+	if got.Full() != full {
+		t.Fatalf("%s: frame %v, want %v", label, got.Full(), full)
+	}
+	for y := full.Y0; y < full.Y1; y++ {
+		for x := full.X0; x < full.X1; x++ {
+			if got.At(x, y) != want.At(x, y) {
+				t.Fatalf("%s: pixel (%d,%d) = %v, want %v",
+					label, x, y, got.At(x, y), want.At(x, y))
+			}
+		}
+	}
+}
+
+// Both methods must reproduce the sequential depth-order reference
+// byte for byte, at power-of-two and non-power-of-two rank counts, on
+// dense and sparse frames.
+func TestTileRoutedMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 8, 16} {
+		plan, err := partition.PlanFold(testRoot(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, density := range map[string]float64{"dense": 1, "sparse": 0.08} {
+			rng := rand.New(rand.NewSource(int64(97*p) + int64(density*10)))
+			imgs := make([]*frame.Image, p)
+			for r := range imgs {
+				imgs[r] = randImage(rng, 48, 48, density)
+			}
+			viewDir := [3]float64{0.3, -0.5, 0.81}
+			ref := core.CompositeSequentialLayout(imgs, plan, viewDir)
+			for _, comp := range []core.Compositor{DS{Lay: plan}, DFB{Lay: plan, Tile: 16}} {
+				got := runLayout(t, comp, p, viewDir, imgs)
+				requireIdentical(t, comp.Name()+" P="+name, got, ref)
+			}
+		}
+	}
+}
+
+// The tile edge must not affect the result: degenerate single-pixel
+// tiles, tiles that do not divide the frame, and tiles larger than the
+// frame all reduce to the same image.
+func TestDFBTileSizes(t *testing.T) {
+	const p = 5
+	plan, err := partition.PlanFold(testRoot(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	imgs := make([]*frame.Image, p)
+	for r := range imgs {
+		imgs[r] = randImage(rng, 50, 38, 0.2)
+	}
+	viewDir := [3]float64{-0.2, 0.4, 0.89}
+	ref := core.CompositeSequentialLayout(imgs, plan, viewDir)
+	for _, tile := range []int{1, 3, 16, 33, 64, 1000} {
+		got := runLayout(t, DFB{Lay: plan, Tile: tile}, p, viewDir, imgs)
+		requireIdentical(t, "DFB tile="+itoa(tile), got, ref)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; n > 0; n /= 10 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+	}
+	return string(b)
+}
+
+// Randomized identity sweep: random rank counts, frame geometries,
+// densities, tile sizes and view directions.
+func TestTileRoutedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	iters := 20
+	if testing.Short() {
+		iters = 5
+	}
+	for iter := 0; iter < iters; iter++ {
+		p := 1 + rng.Intn(9)
+		w, h := 8+rng.Intn(56), 8+rng.Intn(56)
+		tile := 1 + rng.Intn(80)
+		viewDir := [3]float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1, 0.1 + rng.Float64()}
+		density := rng.Float64()
+		plan, err := partition.PlanFold(testRoot(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs := make([]*frame.Image, p)
+		for r := range imgs {
+			imgs[r] = randImage(rng, w, h, density)
+		}
+		ref := core.CompositeSequentialLayout(imgs, plan, viewDir)
+		for _, comp := range []core.Compositor{DS{Lay: plan}, DFB{Lay: plan, Tile: tile}} {
+			got := runLayout(t, comp, p, viewDir, imgs)
+			requireIdentical(t, comp.Name(), got, ref)
+		}
+	}
+}
+
+// A rendered scene at non-power-of-two rank counts must match the
+// serial raycast, with subimages rendered from the fold plan's boxes —
+// the same end-to-end property the core methods pin at powers of two.
+func TestRenderedSceneAnyP(t *testing.T) {
+	vol := volume.HeadPhantom(32, 32, 15)
+	tf := transfer.Head()
+	cam := render.NewCamera(48, 48, vol.Bounds(), 10, -30)
+	serial := render.Raycast(vol, vol.Bounds(), cam, tf, render.Options{EarlyTermination: -1})
+	for _, p := range []int{3, 6} {
+		plan, err := partition.PlanFold(vol.Bounds(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs := make([]*frame.Image, p)
+		for r := range imgs {
+			imgs[r] = render.Raycast(vol, plan.Box(r), cam, tf,
+				render.Options{EarlyTermination: -1})
+		}
+		for _, comp := range []core.Compositor{DS{Lay: plan}, DFB{Lay: plan}} {
+			got := runLayout(t, comp, p, cam.Dir, imgs)
+			if d := serial.MaxAbsDiff(got, serial.Full()); d > 1e-9 {
+				t.Errorf("%s P=%d: differs from serial by %g", comp.Name(), p, d)
+			}
+		}
+	}
+}
+
+// Strip ownership must partition the frame exactly for any rank count,
+// including more ranks than scanlines.
+func TestStripRectPartitionsFrame(t *testing.T) {
+	full := frame.XYWH(3, 5, 41, 23)
+	for _, p := range []int{1, 2, 3, 7, 23, 64} {
+		covered := 0
+		prevY1 := full.Y0
+		for r := 0; r < p; r++ {
+			s := StripRect(full, r, p)
+			if s.Empty() {
+				continue
+			}
+			if s.Y0 != prevY1 {
+				t.Fatalf("p=%d: strip %d starts at %d, want %d", p, r, s.Y0, prevY1)
+			}
+			prevY1 = s.Y1
+			covered += s.Area()
+		}
+		if covered != full.Area() || prevY1 != full.Y1 {
+			t.Fatalf("p=%d: strips cover %d of %d", p, covered, full.Area())
+		}
+	}
+}
+
+// A compositor configured for one world size must refuse another.
+func TestLayoutSizeMismatch(t *testing.T) {
+	plan, err := partition.PlanFold(testRoot(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := []*frame.Image{frame.NewImage(16, 16), frame.NewImage(16, 16)}
+	err = mp.Run(2, testOpts(), func(c mp.Comm) error {
+		_, err := DS{Lay: plan}.Composite(c, nil, [3]float64{0, 0, 1}, imgs[c.Rank()])
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "layout expects") {
+		t.Fatalf("world/layout mismatch not rejected: %v", err)
+	}
+	err = mp.Run(2, testOpts(), func(c mp.Comm) error {
+		_, err := DS{}.Composite(c, nil, [3]float64{0, 0, 1}, imgs[c.Rank()])
+		return err
+	})
+	if err == nil {
+		t.Fatal("nil layout and nil decomposition not rejected")
+	}
+}
+
+// parseRegion must reject an encoding whose pixel count disagrees with
+// its rectangle.
+func TestParseRegionRejectsMismatch(t *testing.T) {
+	img := frame.NewImage(8, 8)
+	img.Set(2, 2, frame.Pixel{I: 1, A: 1})
+	var e rle.Encoding
+	r := frame.XYWH(0, 0, 4, 4)
+	rle.EncodeRect(img, r, &e)
+	body := e.Pack(nil)
+	if _, _, err := parseRegion(r, body); err != nil {
+		t.Fatalf("valid region rejected: %v", err)
+	}
+	wrong := frame.XYWH(0, 0, 5, 5)
+	if _, _, err := parseRegion(wrong, body); err == nil {
+		t.Fatal("area mismatch accepted")
+	}
+	if _, _, err := parseRegion(r, body[:len(body)-2]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}

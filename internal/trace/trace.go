@@ -57,6 +57,15 @@ const (
 // StageGather labels comm spans issued during the final gather.
 const StageGather = "gather"
 
+// StageRoute and StageMerge label the two phases of the tile-routed
+// compositors (internal/tilecomp): route is the encode-and-send fan-out
+// to the strip/tile owners, merge is the owner's depth-ordered
+// compositing of the received contributions.
+const (
+	StageRoute = "route"
+	StageMerge = "merge"
+)
+
 // Span is one timed interval on one rank's track. Start is the offset
 // from the recorder's epoch, so spans from different ranks align.
 type Span struct {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 
+	"sortlast/internal/core"
 	"sortlast/internal/costmodel"
 	"sortlast/internal/frame"
 	"sortlast/internal/harness"
@@ -117,10 +118,12 @@ func Datasets() []string {
 	return []string{"engine_low", "engine_high", "head", "cube"}
 }
 
-// Methods lists the available compositing methods: the paper's four,
-// the baselines, then the related-work encodings as swap variants.
+// Methods lists the available compositing methods in registration
+// order: the paper's four, the baselines, the related-work encodings as
+// swap variants, then the tile-routed subsystem (ds, dfb). The facade
+// links the harness, so every registered method is available here.
 func Methods() []string {
-	return []string{"bs", "bsbr", "bslc", "bsbrc", "direct", "pipeline", "bintree", "bsdpf", "bsvc", "bsbrlc"}
+	return core.Names()
 }
 
 // Render runs the full pipeline on a built-in dataset.

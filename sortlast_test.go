@@ -104,8 +104,17 @@ func TestImagePGM(t *testing.T) {
 }
 
 func TestListings(t *testing.T) {
-	if len(Datasets()) != 4 || len(Methods()) != 10 {
+	if len(Datasets()) != 4 || len(Methods()) != 12 {
 		t.Error("listings changed unexpectedly")
+	}
+	have := map[string]bool{}
+	for _, m := range Methods() {
+		have[m] = true
+	}
+	for _, m := range []string{"bsbrc", "ds", "dfb"} {
+		if !have[m] {
+			t.Errorf("method %q missing from listing %v", m, Methods())
+		}
 	}
 	if SP2Params() == "" {
 		t.Error("SP2Params must describe the preset")
