@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench bench-json bench-autotune bench-render bench-fleet bench-compose
+.PHONY: check vet build test race chaos bench bench-json bench-autotune bench-render bench-fleet bench-compose bench-quality
 
 # check is the pre-commit gate: static analysis, a full build, the full
 # test suite, and the race detector over the packages that run
@@ -58,6 +58,14 @@ bench-render:
 bench-fleet:
 	@$(GO) run ./cmd/servebench -fleet 2 -out BENCH_fleet.json || \
 		{ echo "bench-fleet: FAILED -- the fleet benchmark did not complete, a cached reply diverged, or the open-loop generator could not hold its offered rate (see error above); BENCH_fleet.json not updated" >&2; exit 1; }
+
+# bench-quality sweeps the quality ladder (full, approx, preview) over
+# one dense workload and writes BENCH_quality.json. The sweep itself
+# asserts preview cuts p99 latency at least 2x against full, so a
+# quality contract that stops buying latency fails loudly.
+bench-quality:
+	@$(GO) run ./cmd/servebench -quality sweep -out BENCH_quality.json || \
+		{ echo "bench-quality: FAILED -- the quality sweep did not complete or preview lost its 2x p99 margin over full (see error above); BENCH_quality.json not updated" >&2; exit 1; }
 
 # bench-autotune compares Method auto against every fixed compositing
 # method over a mixed dense->sparse animation (quick-calibrating the

@@ -39,12 +39,14 @@ var (
 	metrics   = flag.String("metrics-addr", "", "observability sidecar address for the in-process renderd (/healthz, /metrics, /debug/pprof/, /debug/trace/last); empty (the default) disables")
 	chaos     = flag.Bool("chaos", false, "inject probabilistic connection resets into the rank world and drive through them with a retrying client (exercises world supervision under load; failed frames are counted, not fatal)")
 	chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed, so a chaos run is reproducible")
+	quality   = flag.String("quality", "", "quality contract stamped on every request (full, approx, preview), or \"sweep\" to bench the whole ladder on one dense workload and write per-quality records")
 )
 
 // record is one benchmark configuration's result.
 type record struct {
 	P         int     `json:"p"`
 	Method    string  `json:"method"`
+	Quality   string  `json:"quality,omitempty"`
 	Frames    int     `json:"frames"`
 	Size      int     `json:"size"`
 	FPS       float64 `json:"frames_per_sec"`
@@ -77,10 +79,17 @@ func run() error {
 	if *fleetN > 0 {
 		return runFleet()
 	}
+	if *quality == "sweep" {
+		return runQualitySweep()
+	}
+	q, err := server.NormalizeQuality(*quality)
+	if err != nil {
+		return err
+	}
 	var records []record
 	for _, p := range []int{4, 8} {
 		for _, method := range []string{"bs", "bsbrc"} {
-			rec, err := bench(p, method)
+			rec, err := bench(p, method, q)
 			if err != nil {
 				return fmt.Errorf("P=%d method=%s: %w", p, method, err)
 			}
@@ -105,7 +114,43 @@ func run() error {
 	return os.WriteFile(*out, buf, 0o644)
 }
 
-func bench(p int, method string) (record, error) {
+// runQualitySweep benches the full quality ladder on one dense
+// workload (cube at -size, bsbrc, P=4) and writes per-quality records.
+// The sweep asserts the contract's point: preview must cut p99 latency
+// at least in half against full on the same workload, or the run fails
+// loudly — a quality knob that does not buy latency is a regression.
+func runQualitySweep() error {
+	const p, method = 4, "bsbrc"
+	var records []record
+	byQuality := map[string]record{}
+	for _, q := range []string{server.QualityFull, server.QualityApprox, server.QualityPreview} {
+		rec, err := bench(p, method, q)
+		if err != nil {
+			return fmt.Errorf("quality=%s: %w", q, err)
+		}
+		records = append(records, rec)
+		byQuality[q] = rec
+		fmt.Fprintf(os.Stderr, "P=%d %-6s quality=%-7s %6.2f frames/s  p50 %6.1f ms  p99 %6.1f ms  wire %d B/frame\n",
+			rec.P, rec.Method, q, rec.FPS, rec.P50MS, rec.P99MS, rec.WireBytes)
+	}
+	full, prev := byQuality[server.QualityFull], byQuality[server.QualityPreview]
+	if prev.P99MS*2 > full.P99MS {
+		return fmt.Errorf("preview p99 %.1f ms is not at least 2x below full p99 %.1f ms",
+			prev.P99MS, full.P99MS)
+	}
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+func bench(p int, method, quality string) (record, error) {
 	cfg := server.Config{
 		Addr: "127.0.0.1:0", P: p,
 		HTTPAddr:        *metrics,
@@ -136,7 +181,7 @@ func bench(p int, method string) (record, error) {
 		})
 	}
 
-	req := server.Request{Dataset: "cube", Method: method, Width: *size, Height: *size, RotY: 30}
+	req := server.Request{Dataset: "cube", Method: method, Width: *size, Height: *size, RotY: 30, Quality: quality}
 	ctx := context.Background()
 	if _, err := cl.Render(ctx, req); err != nil && !*chaos { // warm the dataset cache
 		return record{}, err
@@ -194,7 +239,7 @@ func bench(p int, method string) (record, error) {
 		return float64(latencies[i]) / float64(time.Millisecond)
 	}
 	return record{
-		P: p, Method: method, Frames: len(latencies), Size: *size,
+		P: p, Method: method, Quality: quality, Frames: len(latencies), Size: *size,
 		FPS:           float64(len(latencies)) / elapsed.Seconds(),
 		P50MS:         quantile(0.50),
 		P99MS:         quantile(0.99),

@@ -36,6 +36,13 @@ type Features struct {
 	// sparsity with the frame sparsity Alpha/Beta capture. Zero when
 	// unobserved.
 	Skip float64 `json:"skip,omitempty"`
+
+	// Quality is the frame's quality contract ("" or "full", "approx",
+	// "preview"). The Eq. 1–8 closed forms never read it; it routes the
+	// selection and its measurement into the selector's per-contract
+	// EWMA row, so the argmin learns each contract's cost surface
+	// separately (approx frames are thinner, preview frames smaller).
+	Quality string `json:"quality,omitempty"`
 }
 
 // WithTarget returns f rescaled to a target frame geometry: the

@@ -216,13 +216,43 @@ func (s *Selector) Choose(f Features) (Choice, error) {
 // feature vector; ok is false when nothing has been seeded yet (the
 // caller should Prescan and Seed first).
 func (s *Selector) ChooseFor(width, height, p int) (Choice, bool, error) {
+	return s.ChooseForQuality(width, height, p, "")
+}
+
+// ChooseForQuality is ChooseFor under a quality contract: predictions
+// rank with that contract's correction row, so the Eq. 1–8 argmin runs
+// per contract (an approx frame's thinned images earn corrections of
+// their own instead of polluting the full-quality row).
+func (s *Selector) ChooseForQuality(width, height, p int, quality string) (Choice, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.hasFeats {
 		return Choice{}, false, nil
 	}
-	c, err := s.chooseLocked(s.feats.WithTarget(width, height, p))
+	f := s.feats.WithTarget(width, height, p)
+	f.Quality = quality
+	c, err := s.chooseLocked(f)
 	return c, err == nil, err
+}
+
+// factorKey buckets correction state per (method, quality contract).
+// Full-quality shares the bare method key — seeding, snapshots and every
+// pre-contract caller keep their meaning — while other contracts get a
+// composite "method@quality" row of their own.
+func factorKey(method, quality string) string {
+	if quality == "" || quality == "full" {
+		return method
+	}
+	return method + "@" + quality
+}
+
+// factorLocked returns the EWMA correction for one (method, quality)
+// row; rows not yet observed start at the uncorrected 1.
+func (s *Selector) factorLocked(method, quality string) float64 {
+	if v, ok := s.factors[factorKey(method, quality)]; ok {
+		return v
+	}
+	return 1
 }
 
 func (s *Selector) chooseLocked(f Features) (Choice, error) {
@@ -232,7 +262,7 @@ func (s *Selector) chooseLocked(f Features) (Choice, error) {
 		if err != nil {
 			return Choice{}, err
 		}
-		factor := s.factors[m]
+		factor := s.factorLocked(m, f.Quality)
 		preds = append(preds, Prediction{
 			Method: m, Comp: cost.Comp, Comm: cost.Comm,
 			Factor: factor,
@@ -241,7 +271,7 @@ func (s *Selector) chooseLocked(f Features) (Choice, error) {
 	}
 	sort.SliceStable(preds, func(i, j int) bool { return preds[i].Score < preds[j].Score })
 	ch := Choice{Method: preds[0].Method, Features: f, Predictions: preds}
-	s.selected[ch.Method]++
+	s.selected[factorKey(ch.Method, f.Quality)]++
 	s.last = &ch
 	return ch, nil
 }
@@ -265,9 +295,12 @@ func (s *Selector) Observe(method string, f Features, measured time.Duration) {
 	if err != nil || cost.Total() <= 0 {
 		return
 	}
+	// The measurement lands in the row of the contract the frame was
+	// selected under (f carries it), lazily creating non-full rows.
+	key := factorKey(method, f.Quality)
 	ratio := float64(measured) / float64(cost.Total())
-	factor := (1-ewmaLambda)*s.factors[method] + ewmaLambda*ratio
-	s.factors[method] = math.Min(math.Max(factor, minFactor), maxFactor)
+	factor := (1-ewmaLambda)*s.factorLocked(method, f.Quality) + ewmaLambda*ratio
+	s.factors[key] = math.Min(math.Max(factor, minFactor), maxFactor)
 	s.observed++
 }
 

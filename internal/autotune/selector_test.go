@@ -188,3 +188,61 @@ func TestPredictRejectsInvalid(t *testing.T) {
 		t.Fatal("unknown method must error")
 	}
 }
+
+// Correction factors are learned per (method, quality contract): approx
+// frames terminate early and drop regions, so their measured/predicted
+// ratio must not contaminate the full-quality row, and vice versa. The
+// full contract keeps the bare-method key so pre-quality state carries
+// over.
+func TestObserveKeysFactorsByQuality(t *testing.T) {
+	sel := NewSelector(costmodel.SP2(), TransportMP)
+	f := Features{Width: 384, Height: 384, P: 8, Alpha: 0.04, Beta: 0.2, Runs: 3}
+	ch, err := sel.Choose(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := ch.Predictions[0].Score
+
+	// An approx observation twice as fast as predicted must only move
+	// the "@approx" row.
+	fa := f
+	fa.Quality = "approx"
+	sel.Observe(ch.Method, fa, predicted/2)
+	snap := sel.Snapshot()
+	if v := snap.Factors[ch.Method]; v != 1 {
+		t.Errorf("full-quality factor moved to %g after an approx observation", v)
+	}
+	if v := snap.Factors[ch.Method+"@approx"]; v >= 1 {
+		t.Errorf("approx factor = %g after a fast approx observation, want < 1", v)
+	}
+
+	// A slow full observation moves the bare row and leaves approx alone.
+	before := snap.Factors[ch.Method+"@approx"]
+	sel.Observe(ch.Method, f, predicted*2)
+	snap = sel.Snapshot()
+	if v := snap.Factors[ch.Method]; v <= 1 {
+		t.Errorf("full factor = %g after a slow full observation, want > 1", v)
+	}
+	if v := snap.Factors[ch.Method+"@approx"]; v != before {
+		t.Errorf("approx factor moved from %g to %g on a full observation", before, v)
+	}
+
+	// The explicit "full" name is the bare row, not a separate one.
+	ff := f
+	ff.Quality = "full"
+	sel.Observe(ch.Method, ff, predicted*2)
+	if v := sel.Snapshot().Factors[ch.Method+"@full"]; v != 0 {
+		t.Errorf("quality=full grew its own %q row", ch.Method+"@full")
+	}
+
+	// ChooseForQuality stamps the contract into the features it ranks
+	// with, so the learned per-quality factor feeds back into choice.
+	sel.Seed(f)
+	ch2, seeded, err := sel.ChooseForQuality(384, 384, 8, "approx")
+	if err != nil || !seeded {
+		t.Fatalf("ChooseForQuality: seeded=%v err=%v", seeded, err)
+	}
+	if ch2.Method == "" {
+		t.Fatal("ChooseForQuality returned no method")
+	}
+}

@@ -199,7 +199,11 @@ func (c *Client) Render(ctx context.Context, req server.Request) (*Frame, error)
 	}
 	for attempt := 0; ; attempt++ {
 		frame, err := c.renderOnce(ctx, req)
-		if err == nil || !Retryable(err) || attempt+1 >= attempts {
+		if err == nil {
+			upscalePreview(frame, req.Width, req.Height)
+			return frame, nil
+		}
+		if !Retryable(err) || attempt+1 >= attempts {
 			return frame, err
 		}
 		if !c.backoff(ctx, attempt) {
@@ -236,12 +240,43 @@ func (c *Client) backoff(ctx context.Context, attempt int) bool {
 	}
 }
 
+// upscalePreview maps a reduced-resolution reply — quality "preview",
+// whether asked for or degraded to — onto the requested geometry with
+// nearest-neighbor sampling, so callers always receive the dimensions
+// they asked for; Stats.Quality still says what was rendered. Full-size
+// replies pass through untouched.
+func upscalePreview(f *Frame, w, h int) {
+	if f == nil || f.Stats.Quality != server.QualityPreview ||
+		w <= 0 || h <= 0 || f.Width <= 0 || f.Height <= 0 ||
+		(f.Width == w && f.Height == h) {
+		return
+	}
+	out := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		src := f.Gray[(y*f.Height/h)*f.Width:]
+		dst := out[y*w : (y+1)*w]
+		for x := range dst {
+			dst[x] = src[x*f.Width/w]
+		}
+	}
+	f.Gray, f.Width, f.Height = out, w, h
+}
+
 // renderOnce is one request/reply round trip over one pooled connection.
 func (c *Client) renderOnce(ctx context.Context, req server.Request) (*Frame, error) {
 	if d, ok := ctx.Deadline(); ok {
-		ms := time.Until(d).Milliseconds()
-		if ms <= 0 {
+		remaining := time.Until(d)
+		if remaining <= 0 {
 			return nil, context.DeadlineExceeded
+		}
+		// Milliseconds truncates toward zero, so a sub-millisecond budget
+		// used to ship DeadlineMS=0 — which the server reads as "use the
+		// 30s default", turning the tightest deadline into the laxest.
+		// Clamp to a 1ms floor: the server fails such a request fast, and
+		// the connection deadline still enforces the true budget here.
+		ms := remaining.Milliseconds()
+		if ms < 1 {
+			ms = 1
 		}
 		if req.DeadlineMS == 0 || ms < req.DeadlineMS {
 			req.DeadlineMS = ms

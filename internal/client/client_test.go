@@ -229,3 +229,91 @@ func TestReleaseDropsPoisonedConn(t *testing.T) {
 		t.Error("healthy connection missing from the idle pool")
 	}
 }
+
+// recordingServer answers every request with a 1x1 frame and reports
+// each request's shipped DeadlineMS.
+func recordingServer(t *testing.T) (addr string, deadlines chan int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	deadlines = make(chan int64, 256)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					var req server.Request
+					if err := server.ReadJSON(conn, server.MaxRequestFrame, &req); err != nil {
+						return
+					}
+					deadlines <- req.DeadlineMS
+					server.WriteJSON(conn, server.Response{OK: true, Width: 1, Height: 1})
+					server.WriteFrame(conn, []byte{200})
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), deadlines
+}
+
+// A sub-millisecond context budget must ship DeadlineMS=1, not 0:
+// Milliseconds truncates toward zero, and the old code's DeadlineMS=0
+// made the server substitute its 30s default — the tightest client
+// deadline became the laxest server one. The request itself may or may
+// not complete within 900µs, so the test retries until one lands on the
+// wire and then checks what was shipped.
+func TestSubMillisecondDeadlineShipsFloor(t *testing.T) {
+	addr, deadlines := recordingServer(t)
+	c := New(addr)
+	defer c.Close()
+	for attempt := 0; attempt < 200; attempt++ {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(900*time.Microsecond))
+		c.Render(ctx, server.Request{})
+		cancel()
+		select {
+		case ms := <-deadlines:
+			if ms != 1 {
+				t.Fatalf("sub-millisecond budget shipped DeadlineMS=%d, want the 1ms floor", ms)
+			}
+			return
+		default:
+		}
+	}
+	t.Fatal("no request reached the wire in 200 sub-millisecond attempts")
+}
+
+// An already-expired context fails locally without dialing, and a
+// normal context budget still ships its (truncated) remaining time.
+func TestDeadlinePropagation(t *testing.T) {
+	addr, deadlines := recordingServer(t)
+	c := New(addr)
+	defer c.Close()
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	if _, err := c.Render(ctx, server.Request{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired budget: Render = %v, want context.DeadlineExceeded", err)
+	}
+	select {
+	case ms := <-deadlines:
+		t.Fatalf("expired budget still shipped a request (DeadlineMS=%d)", ms)
+	default:
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if _, err := c.Render(ctx2, server.Request{DeadlineMS: 60000}); err != nil {
+		t.Fatal(err)
+	}
+	ms := <-deadlines
+	if ms < 1000 || ms > 30000 {
+		t.Errorf("30s budget with a 60s request deadline shipped DeadlineMS=%d, want the sooner context budget", ms)
+	}
+}

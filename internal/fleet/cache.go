@@ -30,6 +30,12 @@ type cacheKey struct {
 	height  int
 	shaded  bool
 	qx, qy  int
+	// quality is the contract of the bytes behind the key — the
+	// delivered quality on insert, the requested quality on lookup. An
+	// approx lookup may also fall back to the full-quality key (lookup):
+	// a higher-fidelity frame always satisfies a lower contract, never
+	// the reverse.
+	quality string
 }
 
 // quantizeDeg maps an angle in degrees onto its quantization bucket.
@@ -60,6 +66,12 @@ func quantKey(req server.Request, step float64) cacheKey {
 	if method == "" {
 		method = server.DefaultMethod
 	}
+	// "" and "full" share a key; an invalid name keys as itself — it
+	// can only miss, and the replica answers it with bad_request.
+	quality := req.Quality
+	if q, err := server.NormalizeQuality(quality); err == nil {
+		quality = q
+	}
 	return cacheKey{
 		dataset: req.Dataset,
 		method:  method,
@@ -68,6 +80,7 @@ func quantKey(req server.Request, step float64) cacheKey {
 		shaded:  req.Shaded,
 		qx:      quantizeDeg(req.RotX, step),
 		qy:      quantizeDeg(req.RotY, step),
+		quality: quality,
 	}
 }
 
@@ -78,6 +91,10 @@ type cacheEntry struct {
 	key           cacheKey
 	width, height int
 	gray          []byte
+	// quality and errorBound echo the delivered contract of the reply
+	// that populated the entry, so a hit reports them like a render.
+	quality    string
+	errorBound float64
 }
 
 // entryOverhead approximates the bookkeeping bytes per entry charged
@@ -95,6 +112,15 @@ type frameCache struct {
 	bytes    int64
 	ll       *list.List // front = most recently used; values are *cacheEntry
 	index    map[cacheKey]*list.Element
+
+	// gen guards put against resurrecting invalidated entries: every
+	// invalidation bumps it, a serve snapshots it (generation) before
+	// dispatching, and a put whose snapshot is stale is dropped — the
+	// render raced an invalidation and may have read the old dataset.
+	// Hedge losers reaped after a winner are already never inserted
+	// (their replies are never read), so this closes the remaining
+	// insert-after-invalidate window.
+	gen uint64
 }
 
 func newFrameCache(maxBytes int64) *frameCache {
@@ -115,11 +141,40 @@ func (c *frameCache) get(key cacheKey) (*cacheEntry, bool) {
 	return el.Value.(*cacheEntry), true
 }
 
+// lookup resolves the entry serving a request keyed by key: the exact
+// quality match, or — for an approx contract — the full-quality entry
+// of the same camera. Serving higher fidelity than asked is always
+// sound; the keying makes serving lower impossible (a preview or approx
+// entry can never answer a full request).
+func (c *frameCache) lookup(key cacheKey) (*cacheEntry, bool) {
+	if e, ok := c.get(key); ok {
+		return e, true
+	}
+	if key.quality == server.QualityApprox {
+		full := key
+		full.quality = server.QualityFull
+		if e, ok := c.get(full); ok {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// generation returns the invalidation generation to snapshot before a
+// dispatch whose result will be offered to put.
+func (c *frameCache) generation() uint64 { return c.gen }
+
 // put inserts or replaces the entry for key and evicts LRU entries
-// until the byte budget holds again. It reports how many entries were
-// evicted. An entry larger than the whole budget is not cached.
-func (c *frameCache) put(e *cacheEntry) (evicted int) {
-	if e.size() > c.maxBytes {
+// until the byte budget holds again, reporting how many entries were
+// evicted. gen must be the generation snapshotted before the render
+// that produced e was dispatched: a stale generation means an
+// invalidation ran in between and the entry is dropped instead of
+// resurrecting stale bytes. Replacing an existing key swaps the value
+// in place — the budget is charged the size difference, never twice, so
+// a duplicate insert (e.g. a repeated render of the same camera) cannot
+// double-charge. An entry larger than the whole budget is not cached.
+func (c *frameCache) put(e *cacheEntry, gen uint64) (evicted int) {
+	if gen != c.gen || e.size() > c.maxBytes {
 		return 0
 	}
 	if el, ok := c.index[e.key]; ok {
@@ -149,6 +204,10 @@ func (c *frameCache) removeElement(el *list.Element) {
 // of entries removed. This is the dataset-change hook: a mutated or
 // reloaded dataset must not serve stale frames.
 func (c *frameCache) invalidate(dataset, method string) int {
+	// Bump the generation before sweeping so any in-flight render
+	// dispatched before this point can no longer insert (see put) —
+	// regardless of whether its key matched the sweep.
+	c.gen++
 	removed := 0
 	var next *list.Element
 	for el := c.ll.Front(); el != nil; el = next {

@@ -17,15 +17,15 @@ func TestQuantizeDegBoundaries(t *testing.T) {
 		a, b float64
 		same bool
 	}{
-		{0, 0.24, true},    // inside the half-step band
+		{0, 0.24, true},     // inside the half-step band
 		{0.24, 0.26, false}, // straddles the 0.25 midpoint
-		{0.26, 0.5, true},  // both round to bucket 1
-		{0.25, 0.5, true},  // midpoint rounds up (away from zero)
-		{-0.2, 0.2, true},  // negative aliases across zero
-		{359.9, 0.1, true}, // top bucket wraps onto bucket 0
-		{360.0, 0.0, true}, // full turn aliases
+		{0.26, 0.5, true},   // both round to bucket 1
+		{0.25, 0.5, true},   // midpoint rounds up (away from zero)
+		{-0.2, 0.2, true},   // negative aliases across zero
+		{359.9, 0.1, true},  // top bucket wraps onto bucket 0
+		{360.0, 0.0, true},  // full turn aliases
 		{-360.0, 0.0, true},
-		{725.1, 5.1, true}, // multiple turns alias
+		{725.1, 5.1, true},   // multiple turns alias
 		{30.0, 30.49, false}, // 30.49 rounds to 30.5's bucket
 		{30.0, 30.24, true},
 	}
@@ -72,7 +72,7 @@ func TestCacheLRUByteBudget(t *testing.T) {
 	budget := int64(3 * (payload + entryOverhead))
 	c := newFrameCache(budget)
 	for i := 0; i < 3; i++ {
-		if ev := c.put(entryFor("cube", "bs", float64(i*10), payload)); ev != 0 {
+		if ev := c.put(entryFor("cube", "bs", float64(i*10), payload), c.generation()); ev != 0 {
 			t.Fatalf("put %d evicted %d entries under budget", i, ev)
 		}
 	}
@@ -83,7 +83,7 @@ func TestCacheLRUByteBudget(t *testing.T) {
 	if _, ok := c.get(entryFor("cube", "bs", 0, payload).key); !ok {
 		t.Fatal("entry 0 missing before overflow")
 	}
-	if ev := c.put(entryFor("cube", "bs", 30, payload)); ev != 1 {
+	if ev := c.put(entryFor("cube", "bs", 30, payload), c.generation()); ev != 1 {
 		t.Fatalf("overflow evicted %d entries, want 1", ev)
 	}
 	if _, ok := c.get(entryFor("cube", "bs", 10, payload).key); ok {
@@ -96,7 +96,7 @@ func TestCacheLRUByteBudget(t *testing.T) {
 		t.Errorf("cache holds %d bytes over its %d budget", c.sizeBytes(), budget)
 	}
 	// An entry larger than the whole budget is refused, not cached.
-	if c.put(entryFor("cube", "bs", 99, int(budget))); c.entries() != 3 {
+	if c.put(entryFor("cube", "bs", 99, int(budget)), c.generation()); c.entries() != 3 {
 		t.Errorf("oversized entry changed the cache: %d entries", c.entries())
 	}
 }
@@ -104,9 +104,9 @@ func TestCacheLRUByteBudget(t *testing.T) {
 // Replacing an existing key must adjust the byte account, not leak it.
 func TestCacheReplaceAccounting(t *testing.T) {
 	c := newFrameCache(1 << 20)
-	c.put(entryFor("cube", "bs", 0, 1000))
+	c.put(entryFor("cube", "bs", 0, 1000), c.generation())
 	before := c.sizeBytes()
-	c.put(entryFor("cube", "bs", 0, 500))
+	c.put(entryFor("cube", "bs", 0, 500), c.generation())
 	if c.entries() != 1 {
 		t.Fatalf("entries = %d after replace, want 1", c.entries())
 	}
@@ -122,8 +122,8 @@ func TestCacheInvalidateDatasetMethod(t *testing.T) {
 	c := newFrameCache(1 << 20)
 	for _, ds := range []string{"cube", "head"} {
 		for _, m := range []string{"bs", "bsbrc"} {
-			c.put(entryFor(ds, m, 0, 100))
-			c.put(entryFor(ds, m, 10, 100))
+			c.put(entryFor(ds, m, 0, 100), c.generation())
+			c.put(entryFor(ds, m, 10, 100), c.generation())
 		}
 	}
 	if c.entries() != 8 {
@@ -162,7 +162,7 @@ func TestCacheHitReturnsStoredBytes(t *testing.T) {
 	for i := range e.gray {
 		e.gray[i] = byte(i * 7)
 	}
-	c.put(e)
+	c.put(e, c.generation())
 	got, ok := c.get(e.key)
 	if !ok {
 		t.Fatal("stored entry missed")
@@ -174,5 +174,96 @@ func TestCacheHitReturnsStoredBytes(t *testing.T) {
 	}
 	if fmt.Sprintf("%p", got.gray) != fmt.Sprintf("%p", e.gray) {
 		t.Error("hit copied the payload; entries should be shared read-only")
+	}
+}
+
+// An insert whose generation snapshot predates an invalidation must be
+// dropped: the render raced the invalidation and may carry bytes of the
+// old dataset. This is the resurrection window behind /cache/invalidate
+// racing an in-flight (possibly hedged) dispatch — the loser of that
+// race must not repopulate the cache.
+func TestCachePutStaleGenerationDropped(t *testing.T) {
+	c := newFrameCache(1 << 20)
+	gen := c.generation()
+	c.invalidate("cube", "") // bumps the generation even with nothing cached
+	if ev := c.put(entryFor("cube", "bs", 0, 100), gen); ev != 0 {
+		t.Errorf("stale put evicted %d entries", ev)
+	}
+	if c.entries() != 0 || c.sizeBytes() != 0 {
+		t.Fatalf("stale-generation put inserted: %d entries, %d bytes — invalidated bytes resurrected",
+			c.entries(), c.sizeBytes())
+	}
+	// A fresh snapshot taken after the invalidation inserts normally.
+	c.put(entryFor("cube", "bs", 0, 100), c.generation())
+	if c.entries() != 1 {
+		t.Fatalf("fresh-generation put did not insert")
+	}
+	// Repeating the same insert with the same still-current snapshot
+	// replaces in place: one entry, single-charged.
+	c.put(entryFor("cube", "bs", 0, 100), c.generation())
+	if c.entries() != 1 || c.sizeBytes() != 100+entryOverhead {
+		t.Errorf("duplicate insert double-counted: %d entries, %d bytes (want 1 entry, %d bytes)",
+			c.entries(), c.sizeBytes(), 100+entryOverhead)
+	}
+}
+
+func qualityKey(quality string, rot float64) cacheKey {
+	return quantKey(server.Request{
+		Dataset: "cube", Width: 8, Height: 8, RotY: rot, Quality: quality,
+	}, 0.5)
+}
+
+// Quality is part of the cache key, and lookup may substitute higher
+// fidelity for lower — a full entry answers an approx request — but
+// never the reverse: a full request must not be served a preview or
+// approx entry, and a preview contract keys separately because its
+// bytes are a different geometry.
+func TestCacheQualityKeyingAndFallback(t *testing.T) {
+	c := newFrameCache(1 << 20)
+	full := &cacheEntry{key: qualityKey("", 0), quality: server.QualityFull, gray: make([]byte, 64)}
+	c.put(full, c.generation())
+
+	// "" and "full" share the key.
+	if k := qualityKey(server.QualityFull, 0); k != full.key {
+		t.Errorf("explicit full keys differently from the default: %+v vs %+v", k, full.key)
+	}
+	// An approx request falls back onto the full entry (higher fidelity
+	// satisfies a lower contract).
+	if e, ok := c.lookup(qualityKey(server.QualityApprox, 0)); !ok || e != full {
+		t.Error("approx lookup did not fall back to the full-quality entry")
+	}
+	// A preview request does not: preview bytes are quarter-geometry, so
+	// the contract is served only by its own key.
+	if _, ok := c.lookup(qualityKey(server.QualityPreview, 0)); ok {
+		t.Error("preview lookup was served a full-quality entry")
+	}
+
+	// The reverse direction never holds: with only degraded entries
+	// cached, a full request misses.
+	approx := &cacheEntry{key: qualityKey(server.QualityApprox, 10), quality: server.QualityApprox, gray: make([]byte, 64)}
+	preview := &cacheEntry{key: qualityKey(server.QualityPreview, 10), quality: server.QualityPreview, gray: make([]byte, 64)}
+	c.put(approx, c.generation())
+	c.put(preview, c.generation())
+	if _, ok := c.lookup(qualityKey("", 10)); ok {
+		t.Fatal("a full request was served a lower-quality entry")
+	}
+	if e, ok := c.lookup(qualityKey(server.QualityApprox, 10)); !ok || e != approx {
+		t.Error("exact approx entry missed in favor of the fallback")
+	}
+}
+
+// Invalidation sweeps degraded entries along with full ones — quality
+// variants of a dataset never outlive their dataset.
+func TestCacheInvalidateSweepsQualityVariants(t *testing.T) {
+	c := newFrameCache(1 << 20)
+	for _, q := range []string{"", server.QualityApprox, server.QualityPreview} {
+		e := &cacheEntry{key: qualityKey(q, 0), quality: q, gray: make([]byte, 16)}
+		c.put(e, c.generation())
+	}
+	if c.entries() != 3 {
+		t.Fatalf("entries = %d, want 3 quality variants", c.entries())
+	}
+	if n := c.invalidate("cube", ""); n != 3 {
+		t.Errorf("invalidate removed %d entries, want all 3 quality variants", n)
 	}
 }

@@ -333,9 +333,14 @@ func (g *Gateway) serve(req server.Request) (*server.Response, []byte) {
 	rt := g.newReqTrace(req.Trace, t0)
 	detail := reqDetail(req)
 
+	// gen is the cache's invalidation generation as of this lookup; an
+	// invalidation between here and the post-render put makes the put a
+	// no-op instead of resurrecting bytes from the old dataset.
+	var gen uint64
 	if g.cache != nil {
 		g.cacheMu.Lock()
-		e, ok := g.cache.get(key)
+		e, ok := g.cache.lookup(key)
+		gen = g.cache.generation()
 		g.cacheMu.Unlock()
 		if ok {
 			total := time.Since(t0)
@@ -346,6 +351,7 @@ func (g *Gateway) serve(req server.Request) (*server.Response, []byte) {
 			resp := &server.Response{
 				OK: true, Width: e.width, Height: e.height,
 				Stats: server.FrameStats{Cached: true, TotalMS: float64(total) / 1e6,
+					Quality: e.quality, ErrorBound: e.errorBound,
 					TraceID: rt.traceID().String()},
 			}
 			if rt.wantsReply() {
@@ -376,9 +382,18 @@ func (g *Gateway) serve(req server.Request) (*server.Response, []byte) {
 	}
 	g.router.remember(key, idx, time.Now())
 	if g.cache != nil {
-		e := &cacheEntry{key: key, width: f.Width, height: f.Height, gray: f.Gray}
+		// The entry is keyed by the quality actually delivered (a
+		// DegradeOK request may come back below what it asked for), so a
+		// later full-quality request can never be answered with these
+		// bytes unless they really are full quality.
+		ckey := key
+		if q, err := server.NormalizeQuality(f.Stats.Quality); err == nil {
+			ckey.quality = q
+		}
+		e := &cacheEntry{key: ckey, width: f.Width, height: f.Height, gray: f.Gray,
+			quality: ckey.quality, errorBound: f.Stats.ErrorBound}
 		g.cacheMu.Lock()
-		evicted := g.cache.put(e)
+		evicted := g.cache.put(e, gen)
 		g.cacheMu.Unlock()
 		g.met.cacheEvict.Add(int64(evicted))
 	}

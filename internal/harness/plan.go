@@ -53,6 +53,16 @@ func NewPlan(cfg Config) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	if q, err := NormalizeQuality(cfg.Quality); err != nil {
+		return nil, err
+	} else {
+		cfg.Quality = q
+	}
+	if cfg.Quality == QualityApprox && !cfg.Surface && cfg.RenderOpts.EarlyTermination == 0 {
+		// The approx contract's render-side knob: terminate rays earlier
+		// than the 0.999 default. An explicit caller-set cutoff wins.
+		cfg.RenderOpts.EarlyTermination = render.ApproxCutoff
+	}
 	var sel *autotune.Selector
 	var choice *autotune.Choice
 	if autotune.IsAuto(cfg.Method) {
@@ -60,12 +70,13 @@ func NewPlan(cfg Config) (*Plan, error) {
 		if sel == nil {
 			sel = autotune.NewSelector(cfg.params(), autotune.TransportMP)
 		}
-		ch, ok, err := sel.ChooseFor(cfg.Width, cfg.Height, cfg.P)
+		ch, ok, err := sel.ChooseForQuality(cfg.Width, cfg.Height, cfg.P, cfg.Quality)
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
 			f := autotune.Prescan(vol, tf, cfg.Width, cfg.Height, cfg.P, cfg.RotX, cfg.RotY)
+			f.Quality = cfg.Quality
 			sel.Seed(f)
 			if ch, err = sel.Choose(f); err != nil {
 				return nil, err
@@ -152,7 +163,25 @@ func (p *Plan) renderFrom(src volumeSource, me int, tr *trace.Rank, rs *render.S
 	opts := p.Cfg.RenderOpts
 	opts.Trace = tr
 	opts.Stats = rs
-	return render.Raycast(src, box, p.Cam, p.TF, opts)
+	img := render.Raycast(src, box, p.Cam, p.TF, opts)
+	if p.Cfg.Quality == QualityApprox {
+		// The approx contract's encode-side knob: sub-threshold
+		// accumulations vanish before the bounding scan, so every
+		// compositor downstream ships smaller rectangles and fewer codes.
+		img.DropBelow(ApproxDropAlpha)
+	}
+	return img
+}
+
+// ErrorBound is the worst-case per-pixel 8-bit error of this plan's
+// output against a full-quality render of the same geometry: zero for
+// full (and for preview, whose degradation is resolution rather than
+// pixel values), the cutoff+drop bound of ApproxErrorBound for approx.
+func (p *Plan) ErrorBound() float64 {
+	if p.Cfg.Quality != QualityApprox || p.Cfg.Surface {
+		return 0
+	}
+	return ApproxErrorBound(p.Cfg.P, p.Cfg.RenderOpts.Cutoff(), ApproxDropAlpha)
 }
 
 // CompositeRank runs the compositing phase for one rank over a standing
@@ -215,6 +244,9 @@ func (cfg *Config) Check() error {
 	}
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		return fmt.Errorf("harness: image size %dx%d must be positive", cfg.Width, cfg.Height)
+	}
+	if _, err := NormalizeQuality(cfg.Quality); err != nil {
+		return err
 	}
 	if cfg.P <= 0 {
 		return fmt.Errorf("harness: P = %d must be positive", cfg.P)

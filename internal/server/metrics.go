@@ -111,6 +111,19 @@ var phaseNames = []string{"render", "composite", "gather"}
 // errorCodes pre-registers the typed reply codes, in export order.
 var errorCodes = []string{CodeOverloaded, CodeBadRequest, CodeDeadline, CodeShutdown, CodeInternal, CodeWorldFailed}
 
+// qualityNames pre-registers the delivered-quality labels, in export
+// order (highest fidelity first).
+var qualityNames = []string{QualityFull, QualityApprox, QualityPreview}
+
+// degradePaths pre-registers every (degrade path, landed-on contract)
+// pair that can occur: admission walks the ladder one rung at a time,
+// the watchdog only ever demotes to approx.
+var degradePaths = []struct{ path, to string }{
+	{"admission", QualityApprox},
+	{"admission", QualityPreview},
+	{"watchdog", QualityApprox},
+}
+
 // metrics is renderd's observability surface, exposed as Prometheus
 // text format on the HTTP sidecar. Counters are lock-free atomics keyed
 // by pre-registered label values (methods from the core registry, the
@@ -120,6 +133,8 @@ type metrics struct {
 	frames        map[string]*atomic.Int64 // completed frames per method
 	selected      map[string]*atomic.Int64 // auto-selected frames per chosen method
 	errors        map[string]*atomic.Int64 // rejected/failed requests per code
+	quality       map[string]*atomic.Int64 // served frames per delivered quality
+	degrades      map[string]*atomic.Int64 // degrade events per "path|to" pair
 	inflight      atomic.Int64             // frames dispatched, not yet replied
 	wire          atomic.Int64             // compositing bytes received, all ranks
 	worldRestarts atomic.Int64             // rank worlds torn down and rebuilt
@@ -155,6 +170,8 @@ func newMetrics(queueDepth func() int) *metrics {
 		frames:     make(map[string]*atomic.Int64),
 		selected:   make(map[string]*atomic.Int64),
 		errors:     make(map[string]*atomic.Int64),
+		quality:    make(map[string]*atomic.Int64),
+		degrades:   make(map[string]*atomic.Int64),
 		queueDepth: queueDepth,
 		latency:    newHistogram(latencyBuckets),
 		phases:     make(map[string]*histogram),
@@ -171,7 +188,30 @@ func newMetrics(queueDepth func() int) *metrics {
 	for _, p := range phaseNames {
 		m.phases[p] = newHistogram(phaseBuckets)
 	}
+	for _, q := range qualityNames {
+		m.quality[q] = new(atomic.Int64)
+	}
+	for _, d := range degradePaths {
+		m.degrades[d.path+"|"+d.to] = new(atomic.Int64)
+	}
 	return m
+}
+
+// qualityDelivered counts one served frame under its delivered quality
+// contract.
+func (m *metrics) qualityDelivered(q string) {
+	if c := m.quality[q]; c != nil {
+		c.Add(1)
+	}
+}
+
+// degraded counts n degrade decisions: path is where the ladder was
+// walked ("admission" under queue saturation, "watchdog" on a slow
+// frame's first trip), to is the contract landed on.
+func (m *metrics) degraded(path, to string, n int64) {
+	if c := m.degrades[path+"|"+to]; c != nil {
+		c.Add(n)
+	}
 }
 
 // frameDone records one served frame; traceID (zero if untraced) links
@@ -261,6 +301,16 @@ func (m *metrics) write(w io.Writer, exemplars bool) {
 	fmt.Fprintf(w, "# TYPE renderd_request_errors_total counter\n")
 	for _, code := range errorCodes {
 		fmt.Fprintf(w, "renderd_request_errors_total{code=%q} %d\n", code, m.errors[code].Load())
+	}
+	fmt.Fprintf(w, "# HELP renderd_quality_delivered_total Frames served, by delivered quality contract.\n")
+	fmt.Fprintf(w, "# TYPE renderd_quality_delivered_total counter\n")
+	for _, q := range qualityNames {
+		fmt.Fprintf(w, "renderd_quality_delivered_total{quality=%q} %d\n", q, m.quality[q].Load())
+	}
+	fmt.Fprintf(w, "# HELP renderd_degraded_total Requests stepped below their asked quality contract, by degrade path and the contract landed on.\n")
+	fmt.Fprintf(w, "# TYPE renderd_degraded_total counter\n")
+	for _, d := range degradePaths {
+		fmt.Fprintf(w, "renderd_degraded_total{path=%q,to=%q} %d\n", d.path, d.to, m.degrades[d.path+"|"+d.to].Load())
 	}
 	fmt.Fprintf(w, "# HELP renderd_world_restarts_total Rank worlds torn down and rebuilt after a pipeline failure or watchdog wedge.\n")
 	fmt.Fprintf(w, "# TYPE renderd_world_restarts_total counter\n")

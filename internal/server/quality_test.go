@@ -1,0 +1,332 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"sortlast/internal/client"
+	"sortlast/internal/harness"
+	"sortlast/internal/server"
+)
+
+// upscaleRef applies the client's nearest-neighbor preview upscale to a
+// reference gray image, so preview replies can be checked byte-exactly.
+func upscaleRef(gray []byte, sw, sh, w, h int) []byte {
+	out := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		src := gray[(y*sh/h)*sw:]
+		dst := out[y*w : (y+1)*w]
+		for x := range dst {
+			dst[x] = src[x*sw/w]
+		}
+	}
+	return out
+}
+
+// TestQualityContract pins the quality ladder end to end against one
+// resident world: full is byte-identical to the seed behavior (with and
+// without the explicit name, and with DegradeOK set under no
+// contention), approx reports a positive error bound that its pixels
+// respect, preview renders quarter resolution and the client upscales
+// it to the requested geometry, and an unknown name is a bad request.
+func TestQualityContract(t *testing.T) {
+	const p, w, h = 4, 64, 64
+	srv, err := server.Start(server.Config{
+		Addr: "127.0.0.1:0", P: p,
+		QueueDepth: 8, MaxInFlight: 2, DefaultDeadline: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	cl := client.New(srv.Addr().String())
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	base := server.Request{Dataset: "cube", Method: "bsbrc", Width: w, Height: h, RotY: 30}
+	ref := referenceGray(t, base, p, 0)
+
+	// Full contract: "" and "full" and DegradeOK-without-contention all
+	// return the exact seed bytes and report full quality, no bound.
+	for _, req := range []server.Request{
+		base,
+		{Dataset: "cube", Method: "bsbrc", Width: w, Height: h, RotY: 30, Quality: "full"},
+		{Dataset: "cube", Method: "bsbrc", Width: w, Height: h, RotY: 30, DegradeOK: true},
+	} {
+		f, err := cl.Render(ctx, req)
+		if err != nil {
+			t.Fatalf("render %+v: %v", req, err)
+		}
+		if !bytes.Equal(f.Gray, ref) {
+			t.Errorf("quality=%q degrade_ok=%v: image differs from the seed render", req.Quality, req.DegradeOK)
+		}
+		if f.Stats.Quality != server.QualityFull || f.Stats.Degraded || f.Stats.ErrorBound != 0 {
+			t.Errorf("full contract reported quality=%q degraded=%v bound=%g",
+				f.Stats.Quality, f.Stats.Degraded, f.Stats.ErrorBound)
+		}
+	}
+
+	// Approx: delivered as asked, positive bound, pixels within it.
+	approx := base
+	approx.Quality = server.QualityApprox
+	fa, err := cl.Render(ctx, approx)
+	if err != nil {
+		t.Fatalf("approx render: %v", err)
+	}
+	if fa.Stats.Quality != server.QualityApprox || fa.Stats.Degraded {
+		t.Errorf("approx reply reported quality=%q degraded=%v", fa.Stats.Quality, fa.Stats.Degraded)
+	}
+	if fa.Stats.ErrorBound <= 0 {
+		t.Fatalf("approx error bound = %g, want > 0", fa.Stats.ErrorBound)
+	}
+	worst := 0
+	for i := range ref {
+		d := int(fa.Gray[i]) - int(ref[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if float64(worst) > fa.Stats.ErrorBound+1 { // +1 for 8-bit rounding
+		t.Errorf("approx pixel error %d exceeds the reported bound %g", worst, fa.Stats.ErrorBound)
+	}
+
+	// Preview: the server renders the quarter-resolution geometry and the
+	// client upscales, so the reply equals the upscaled small reference.
+	pw, ph := harness.PreviewDims(w, h)
+	small := referenceGray(t, server.Request{Dataset: "cube", Method: "bsbrc", Width: pw, Height: ph, RotY: 30}, p, 0)
+	prev := base
+	prev.Quality = server.QualityPreview
+	fp, err := cl.Render(ctx, prev)
+	if err != nil {
+		t.Fatalf("preview render: %v", err)
+	}
+	if fp.Width != w || fp.Height != h {
+		t.Fatalf("preview reply is %dx%d after upscale, want %dx%d", fp.Width, fp.Height, w, h)
+	}
+	if fp.Stats.Quality != server.QualityPreview || fp.Stats.ErrorBound != 0 {
+		t.Errorf("preview reply reported quality=%q bound=%g", fp.Stats.Quality, fp.Stats.ErrorBound)
+	}
+	if !bytes.Equal(fp.Gray, upscaleRef(small, pw, ph, w, h)) {
+		t.Error("preview reply differs from the upscaled quarter-resolution reference")
+	}
+
+	// Unknown names fail validation instead of silently rendering full.
+	bad := base
+	bad.Quality = "ultra"
+	if _, err := cl.Render(ctx, bad); !errors.Is(err, client.ErrBadRequest) {
+		t.Errorf("quality=ultra: %v, want ErrBadRequest", err)
+	}
+}
+
+// TestDegradeUnderOverload saturates a capacity-2 server (1 in flight,
+// 1 queued) with concurrent DegradeOK requests: every request must be
+// answered with a frame — degraded down the ladder, never rejected with
+// overloaded — with the delivered quality populated, and the admission
+// degrade path must show up in /metrics.
+func TestDegradeUnderOverload(t *testing.T) {
+	srv, err := server.Start(server.Config{
+		Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", P: 2,
+		QueueDepth: 1, MaxInFlight: 1, DefaultDeadline: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	cl := client.New(srv.Addr().String())
+	defer cl.Close()
+
+	const n = 10
+	req := server.Request{Dataset: "cube", Method: "bsbrc", Width: 96, Height: 96, DegradeOK: true}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		degraded int
+		quals    = map[string]int{}
+	)
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			f, err := cl.Render(ctx, req)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			quals[f.Stats.Quality]++
+			if f.Stats.Degraded {
+				degraded++
+				if server.QualityRank(f.Stats.Quality) >= server.QualityRank(server.QualityFull) {
+					errCh <- fmt.Errorf("degraded reply still claims quality %q", f.Stats.Quality)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if errors.Is(err, client.ErrOverloaded) {
+			t.Errorf("DegradeOK request was rejected with overloaded: %v", err)
+			continue
+		}
+		t.Errorf("burst request failed: %v", err)
+	}
+	if degraded == 0 {
+		t.Errorf("no request degraded under a %d-deep burst against capacity 2 (qualities: %v)", n, quals)
+	}
+	if quals[""] > 0 {
+		t.Errorf("%d replies left the delivered quality empty", quals[""])
+	}
+
+	resp, err := http.Get("http://" + srv.HTTPAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte(`renderd_degraded_total{path="admission"`)) {
+		t.Error("metrics missing the admission degrade counter family")
+	}
+	if bytes.Contains(body, []byte(`renderd_degraded_total{path="admission",to="approx"} 0`)) &&
+		bytes.Contains(body, []byte(`renderd_degraded_total{path="admission",to="preview"} 0`)) {
+		t.Error("admission degrade counters all zero after a degrading burst")
+	}
+	if !bytes.Contains(body, []byte(`renderd_quality_delivered_total{quality="full"}`)) {
+		t.Error("metrics missing the delivered-quality counter family")
+	}
+}
+
+// TestWatchdogDemotesSlowFrame pins the watchdog's first-trip behavior
+// for DegradeOK work: a frame that overruns the watchdog deadline is
+// demoted to approx — remaining tiles re-rendered under the raised
+// early-termination cutoff — and completes inside a doubled window,
+// instead of tearing the world down. The frame must come back OK,
+// reporting approx quality with a positive bound, and the world must
+// never restart. Timing is calibrated from a measured full render and
+// retried across watchdog scales, since the demotion only engages when
+// the deadline lands mid-render.
+func TestWatchdogDemotesSlowFrame(t *testing.T) {
+	const p = 2
+	req := server.Request{Dataset: "cube", Method: "bsbrc", Width: 320, Height: 320, DegradeOK: true}
+
+	start := time.Now()
+	referenceGray(t, server.Request{Dataset: req.Dataset, Method: req.Method, Width: req.Width, Height: req.Height}, p, 0)
+	full := time.Since(start)
+
+	for _, scale := range []float64{0.5, 0.25, 0.75} {
+		timeout := time.Duration(float64(full) * scale)
+		if timeout < 10*time.Millisecond {
+			timeout = 10 * time.Millisecond
+		}
+		srv, err := server.Start(server.Config{
+			Addr: "127.0.0.1:0", P: p,
+			QueueDepth: 2, MaxInFlight: 1,
+			DefaultDeadline: 2 * time.Minute, FrameTimeout: timeout,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := client.New(srv.Addr().String())
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		f, err := cl.Render(ctx, req)
+		cancel()
+		restarts := srv.WorldRestarts()
+		cl.Close()
+		srv.Shutdown(context.Background())
+		if err != nil {
+			t.Logf("scale %.2f (timeout %v): %v; retrying at the next scale", scale, timeout, err)
+			continue
+		}
+		if f.Stats.Quality != server.QualityApprox {
+			t.Logf("scale %.2f (timeout %v): frame finished at quality %q without tripping; retrying",
+				scale, timeout, f.Stats.Quality)
+			continue
+		}
+		// Demoted: the contract must say so, with a bound, and the world
+		// must have survived.
+		if !f.Stats.Degraded {
+			t.Error("watchdog-demoted frame does not report degraded")
+		}
+		if f.Stats.ErrorBound <= 0 {
+			t.Errorf("watchdog-demoted frame reports bound %g, want > 0", f.Stats.ErrorBound)
+		}
+		if restarts != 0 {
+			t.Errorf("world restarted %d times; the first trip should demote, not fail", restarts)
+		}
+		return
+	}
+	t.Skip("no watchdog scale landed mid-render on this host; demotion not exercised")
+}
+
+// TestDegradeDisabledIgnoresOptIn pins the operator override (renderd
+// -no-degrade): with DegradeDisabled set, DegradeOK requests behave as
+// if the flag were never sent — a saturated queue answers overloaded
+// and nothing is degraded.
+func TestDegradeDisabledIgnoresOptIn(t *testing.T) {
+	srv, err := server.Start(server.Config{
+		Addr: "127.0.0.1:0", P: 2,
+		QueueDepth: 1, MaxInFlight: 1, DefaultDeadline: 2 * time.Minute,
+		DegradeDisabled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	cl := client.New(srv.Addr().String())
+	defer cl.Close()
+
+	const n = 12
+	req := server.Request{Dataset: "cube", Method: "bsbrc", Width: 128, Height: 128, DegradeOK: true}
+	var (
+		wg         sync.WaitGroup
+		overloaded int
+		mu         sync.Mutex
+	)
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			f, err := cl.Render(ctx, req)
+			if errors.Is(err, client.ErrOverloaded) {
+				mu.Lock()
+				overloaded++
+				mu.Unlock()
+				return
+			}
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if f.Stats.Degraded || f.Stats.Quality != server.QualityFull {
+				errCh <- fmt.Errorf("degrade-disabled server delivered quality=%q degraded=%v",
+					f.Stats.Quality, f.Stats.Degraded)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if overloaded == 0 {
+		t.Errorf("no overload rejections from a %d-deep burst against capacity 2 with degrade disabled", n)
+	}
+}

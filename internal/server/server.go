@@ -78,6 +78,13 @@ type Config struct {
 	// world. Default 60s.
 	FrameTimeout time.Duration
 
+	// DegradeDisabled makes the server ignore Request.DegradeOK: a
+	// saturated queue rejects with CodeOverloaded and a slow frame fails
+	// the world, exactly as if the caller had not opted in. Operator
+	// knob for pinning full fidelity fleet-wide (renderd -no-degrade)
+	// without changing clients.
+	DegradeDisabled bool
+
 	// Chaos, when set, wraps every rank's transport with fault injection
 	// (drops, delays, resets, rank crashes, stalls) for chaos testing;
 	// see internal/faultinject. Nil (the default) injects nothing.
@@ -128,6 +135,16 @@ type job struct {
 	admitted time.Time
 	deadline time.Time
 
+	// quality is the contract the job was admitted at (what the plan
+	// renders); requested is what the caller asked for — they differ
+	// when admission degraded the request down the ladder. demote is
+	// non-nil for DegradeOK jobs: the frame watchdog flips it to switch
+	// the in-flight render to the approx cutoff instead of failing the
+	// world (the same flag rides in the plan's render options).
+	quality   string
+	requested string
+	demote    *atomic.Bool
+
 	// id is the distributed trace identity (from the request's trace
 	// context, or minted locally so flight entries and exemplars always
 	// have a key); sampled means the reply must carry the span tree.
@@ -154,6 +171,20 @@ type reply struct {
 }
 
 func (j *job) finish(r reply) { j.once.Do(func() { j.done <- r }) }
+
+// delivered resolves what the job actually produced: the admitted
+// contract, demoted to approx when the watchdog tripped mid-render, and
+// the matching worst-case error bound. A demoted frame's bound carries
+// only the cutoff residual — its encode was never thinned.
+func (j *job) delivered() (quality string, bound float64) {
+	quality, bound = j.quality, j.plan.ErrorBound()
+	if j.demote != nil && j.demote.Load() &&
+		harness.QualityRank(quality) > harness.QualityRank(QualityApprox) {
+		quality = QualityApprox
+		bound = harness.ApproxErrorBound(j.plan.Cfg.P, render.ApproxCutoff, 0)
+	}
+	return quality, bound
+}
 
 // rendered is the handoff between a rank's render and composite stages.
 type rendered struct {
@@ -506,12 +537,114 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 		s.met.requestFailed(CodeBadRequest)
 		return &Response{Code: CodeBadRequest, Error: err.Error()}, nil
 	}
+	requested, err := NormalizeQuality(req.Quality)
+	if err != nil {
+		s.met.requestFailed(CodeBadRequest)
+		return &Response{Code: CodeBadRequest, Error: err.Error()}, nil
+	}
+	if s.cfg.DegradeDisabled {
+		// req is a copy, so clearing the flag here blinds every
+		// downstream consumer (watchdog demotion in buildJob, the
+		// admission ladder below) in one place.
+		req.DegradeOK = false
+	}
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	deadlineAt := time.Now().Add(deadline)
+
+	j, resp := s.buildJob(req, requested, requested, deadlineAt)
+	if resp != nil {
+		return resp, nil
+	}
+
+	// The closed check and the enqueue are one critical section: Shutdown
+	// sets closed under the same lock before the scheduler drains the
+	// queue, so a job admitted here is guaranteed to be seen (and thus
+	// answered) by the scheduler — no request can fall between admission
+	// and drain and hang its handler.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.met.requestFailed(CodeShutdown)
+		s.observeFlight(j, CodeShutdown, jobDetail(j, req))
+		return &Response{Code: CodeShutdown, Error: "server shutting down"}, nil
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		if !req.DegradeOK {
+			// Admission control: reject now rather than queue unboundedly.
+			s.met.requestFailed(CodeOverloaded)
+			s.observeFlight(j, CodeOverloaded, jobDetail(j, req))
+			return &Response{Code: CodeOverloaded,
+				Error: fmt.Sprintf("admission queue full (%d deep)", cap(s.queue))}, nil
+		}
+		// The request opted into degraded delivery: walk the quality
+		// ladder down instead of bouncing.
+		if j, resp = s.admitDegraded(req, requested, deadlineAt); resp != nil {
+			return resp, nil
+		}
+	}
+
+	rep := <-j.done
+	total := time.Since(j.admitted)
+	detail := jobDetail(j, req)
+	if rep.code != "" {
+		s.observeFlight(j, rep.code, detail)
+		return &Response{
+			Code: rep.code, Error: rep.err.Error(),
+			Stats: FrameStats{TraceID: j.id.String(), TotalMS: float64(total) / 1e6},
+		}, nil
+	}
+	delivered, bound := j.delivered()
+	degraded := harness.QualityRank(delivered) < harness.QualityRank(j.requested)
+	s.met.frameDone(j.method, total, uint64(j.id))
+	s.met.qualityDelivered(delivered)
+	s.observeFlight(j, "ok", detail)
+	resp = &Response{
+		OK: true,
+		// The plan's geometry, not the request's: a preview delivery
+		// carries its reduced dimensions, and the payload that follows
+		// holds exactly Width*Height bytes either way.
+		Width: j.plan.Cfg.Width, Height: j.plan.Cfg.Height,
+		Stats: FrameStats{
+			QueueMS:    float64(j.dispatched.Sub(j.admitted)) / 1e6,
+			RenderMS:   float64(j.renderNS.Load()) / 1e6,
+			TotalMS:    float64(total) / 1e6,
+			WireBytes:  j.wireBytes.Load(),
+			Quality:    delivered,
+			Degraded:   degraded,
+			ErrorBound: bound,
+			TraceID:    j.id.String(),
+		},
+	}
+	if j.sampled {
+		resp.Trace = s.frameWire(j, total)
+	}
+	return resp, rep.img
+}
+
+// buildJob resolves one request at one quality contract into a
+// ready-to-enqueue job. Preview contracts render at harness.PreviewDims
+// — a quarter of the rays — and carry the reduced geometry in the
+// reply; DegradeOK jobs get the demote flag the frame watchdog flips.
+// The returned *Response is the typed-error reply (nil on success).
+func (s *Server) buildJob(req Request, quality, requested string, deadlineAt time.Time) (*job, *Response) {
+	w, h := req.Width, req.Height
+	if quality == QualityPreview {
+		w, h = harness.PreviewDims(w, h)
+	}
 	cfg := harness.Config{
 		Dataset: req.Dataset,
-		Width:   req.Width, Height: req.Height,
+		Width:   w, Height: h,
 		P:      s.cfg.P,
 		Method: req.Method,
 		RotX:   req.RotX, RotY: req.RotY,
+		Quality:    quality,
 		RenderOpts: render.Options{Shaded: req.Shaded, Workers: s.cfg.Workers},
 	}
 	if cfg.Method == "" {
@@ -523,18 +656,19 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 		// and corrections accumulate across requests.
 		cfg.Selector = s.sel
 	}
+	var demote *atomic.Bool
+	if req.DegradeOK {
+		demote = new(atomic.Bool)
+		cfg.RenderOpts.Demote = demote
+	}
 	if err := cfg.Check(); err != nil {
 		s.met.requestFailed(CodeBadRequest)
-		return &Response{Code: CodeBadRequest, Error: err.Error()}, nil
+		return nil, &Response{Code: CodeBadRequest, Error: err.Error()}
 	}
 	plan, err := harness.NewPlan(cfg)
 	if err != nil {
 		s.met.requestFailed(CodeBadRequest)
-		return &Response{Code: CodeBadRequest, Error: err.Error()}, nil
-	}
-	deadline := s.cfg.DefaultDeadline
-	if req.DeadlineMS > 0 {
-		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+		return nil, &Response{Code: CodeBadRequest, Error: err.Error()}
 	}
 	if plan.Choice != nil {
 		// Method "auto": cfg still says "auto" but the plan resolved it;
@@ -550,73 +684,90 @@ func (s *Server) submit(req Request) (*Response, *frame.Image) {
 	if id == 0 && !s.cfg.DisableTracing {
 		id = trace.NewID()
 	}
-
-	now := time.Now()
 	j := &job{
-		plan:     plan,
-		method:   plan.Cfg.Method,
-		admitted: now,
-		deadline: now.Add(deadline),
-		id:       id,
-		sampled:  sampled,
-		done:     make(chan reply, 1),
+		plan:      plan,
+		method:    plan.Cfg.Method,
+		quality:   quality,
+		requested: requested,
+		demote:    demote,
+		admitted:  time.Now(),
+		deadline:  deadlineAt,
+		id:        id,
+		sampled:   sampled,
+		done:      make(chan reply, 1),
 	}
 	if !s.cfg.DisableTracing {
 		j.rec = trace.NewRecorder(s.cfg.P)
 		j.rec.SetTraceID(id)
 	}
-	detail := fmt.Sprintf("%s %dx%d %s", j.method, req.Width, req.Height, req.Dataset)
+	return j, nil
+}
 
-	// The closed check and the enqueue are one critical section: Shutdown
-	// sets closed under the same lock before the scheduler drains the
-	// queue, so a job admitted here is guaranteed to be seen (and thus
-	// answered) by the scheduler — no request can fall between admission
-	// and drain and hang its handler.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.met.requestFailed(CodeShutdown)
-		s.observeFlight(j, CodeShutdown, detail)
-		return &Response{Code: CodeShutdown, Error: "server shutting down"}, nil
+func jobDetail(j *job, req Request) string {
+	d := fmt.Sprintf("%s %dx%d %s", j.method, j.plan.Cfg.Width, j.plan.Cfg.Height, req.Dataset)
+	if j.quality != QualityFull {
+		d += " " + j.quality
 	}
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		// Admission control: reject now rather than queue unboundedly.
-		s.met.requestFailed(CodeOverloaded)
-		s.observeFlight(j, CodeOverloaded, detail)
-		return &Response{Code: CodeOverloaded,
-			Error: fmt.Sprintf("admission queue full (%d deep)", cap(s.queue))}, nil
-	}
+	return d
+}
 
-	rep := <-j.done
-	total := time.Since(j.admitted)
-	if rep.code != "" {
-		s.observeFlight(j, rep.code, detail)
-		return &Response{
-			Code: rep.code, Error: rep.err.Error(),
-			Stats: FrameStats{TraceID: j.id.String(), TotalMS: float64(total) / 1e6},
-		}, nil
+// degradePoll paces the degraded-admission retry loop: long enough for
+// the dispatcher to drain a queue slot between attempts, negligible next
+// to any real frame time.
+const degradePoll = 2 * time.Millisecond
+
+// admitDegraded admits a DegradeOK request that found the queue full.
+// Each attempt steps the contract one rung down the full→approx→preview
+// ladder (rebuilding the job cheaper) and retries the non-blocking
+// enqueue; at the preview floor it keeps polling. The only exits are a
+// queue slot (success — the caller waits on the returned job), the
+// request deadline, shutdown, or a build error; never CodeOverloaded.
+// Every enqueue stays inside the closed-check critical section,
+// preserving the shutdown-drain invariant of the fast path.
+func (s *Server) admitDegraded(req Request, requested string, deadlineAt time.Time) (*job, *Response) {
+	quality := requested
+	var j *job
+	for {
+		if next, ok := harness.DegradeQuality(quality); ok {
+			quality = next
+			s.met.degraded("admission", quality, 1)
+			j = nil // rebuild at the cheaper contract
+		}
+		if j == nil {
+			var resp *Response
+			if j, resp = s.buildJob(req, quality, requested, deadlineAt); resp != nil {
+				return nil, resp
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.met.requestFailed(CodeShutdown)
+			s.observeFlight(j, CodeShutdown, jobDetail(j, req))
+			return nil, &Response{Code: CodeShutdown, Error: "server shutting down"}
+		}
+		select {
+		case s.queue <- j:
+			s.mu.Unlock()
+			return j, nil
+		default:
+			s.mu.Unlock()
+		}
+		select {
+		case <-s.stop:
+			s.met.requestFailed(CodeShutdown)
+			s.observeFlight(j, CodeShutdown, jobDetail(j, req))
+			return nil, &Response{Code: CodeShutdown, Error: "server shutting down"}
+		case <-time.After(degradePoll):
+			if time.Now().After(j.deadline) {
+				s.met.requestFailed(CodeDeadline)
+				s.observeFlight(j, CodeDeadline, jobDetail(j, req))
+				return nil, &Response{Code: CodeDeadline,
+					Error: "deadline expired before a degraded slot freed",
+					Stats: FrameStats{TraceID: j.id.String()}}
+			}
+		}
 	}
-	s.met.frameDone(j.method, total, uint64(j.id))
-	s.observeFlight(j, "ok", detail)
-	resp := &Response{
-		OK:    true,
-		Width: req.Width, Height: req.Height,
-		Stats: FrameStats{
-			QueueMS:   float64(j.dispatched.Sub(j.admitted)) / 1e6,
-			RenderMS:  float64(j.renderNS.Load()) / 1e6,
-			TotalMS:   float64(total) / 1e6,
-			WireBytes: j.wireBytes.Load(),
-			TraceID:   j.id.String(),
-		},
-	}
-	if j.sampled {
-		resp.Trace = s.frameWire(j, total)
-	}
-	return resp, rep.img
 }
 
 // frameWire assembles the server's span tree for one finished job: a

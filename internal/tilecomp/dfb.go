@@ -68,7 +68,11 @@ func (d DFB) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 	tr := c.Tracer()
 	sc := core.GetScratch()
 	defer sc.Release()
-	s := st.StageAt(1)
+	// Stage 1 carries the route round (encode + sends), stage 2 the merge
+	// pass (receives + composites), mirroring the two cost terms of
+	// costmodel.TileRoutedCost so report.MeasuredVsModeled gets a real
+	// per-stage breakdown instead of one degenerate stage.
+	route, merge := st.StageAt(1), st.StageAt(2)
 
 	c.SetStage(trace.StageRoute)
 	bm := tr.Begin()
@@ -95,7 +99,7 @@ func (d DFB) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 				continue
 			}
 			rle.EncodeRect(img, sr, sc.Enc())
-			s.Encoded += sr.Area()
+			route.Encoded += sr.Area()
 			if len(sc.Enc().NonBlank) == 0 {
 				continue
 			}
@@ -104,23 +108,26 @@ func (d DFB) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 			frame.PutRect(rb[:], sr)
 			payload = append(payload, rb[:]...)
 			payload = sc.Enc().Pack(payload)
-			s.Codes += len(sc.Enc().Codes)
-			s.SentPixels += len(sc.Enc().NonBlank)
+			route.Codes += len(sc.Enc().Codes)
+			route.SentPixels += len(sc.Enc().NonBlank)
 			count++
 		}
 		binary.LittleEndian.PutUint32(payload[:4], uint32(count))
 		if count == 0 {
-			s.SendRectEmpty = true
+			route.SendRectEmpty = true
 		}
 		timer.Stop()
 		if err := c.Send(dst, tagDFB, payload); err != nil {
 			return nil, fmt.Errorf("dfb: send to %d: %w", dst, err)
 		}
 		sc.Retain(payload)
-		s.MsgsSent++
-		s.BytesSent += len(payload)
+		route.MsgsSent++
+		route.BytesSent += len(payload)
 	}
 	tr.End(em, trace.SpanEncode, trace.StageRoute)
+	// Umbrella span (Name == Stage), the per-stage measured total the
+	// reports sum — the binary-swap family's stageK spans' counterpart.
+	tr.End(em, trace.StageRoute, trace.StageRoute)
 
 	// Merge: composite contributions to my tiles front-to-back. Walking
 	// the global depth order and putting each source's tiles behind the
@@ -135,7 +142,7 @@ func (d DFB) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 			timer.Start()
 			for _, t := range mine {
 				if r := til.Rect(t).Intersect(localBR); !r.Empty() {
-					s.Composited += out.CompositeImage(img, r, false)
+					merge.Composited += out.CompositeImage(img, r, false)
 				}
 			}
 			timer.Stop()
@@ -145,8 +152,8 @@ func (d DFB) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 		if err != nil {
 			return nil, fmt.Errorf("dfb: recv from %d: %w", src, err)
 		}
-		s.MsgsRecv++
-		s.BytesRecv += len(recv)
+		merge.MsgsRecv++
+		merge.BytesRecv += len(recv)
 		count, rest, err := readU32(recv)
 		if err != nil {
 			return nil, fmt.Errorf("dfb: from %d: %w", src, err)
@@ -156,7 +163,7 @@ func (d DFB) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 				return nil, fmt.Errorf("dfb: %d trailing bytes in empty batch from %d",
 					len(rest), src)
 			}
-			s.RecvRectEmpty = true
+			merge.RecvRectEmpty = true
 			continue
 		}
 		for i := 0; i < int(count); i++ {
@@ -173,14 +180,14 @@ func (d DFB) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 				return nil, fmt.Errorf("dfb: rect %v from %d outside tile %d (%v)",
 					r, src, t, til.Rect(t))
 			}
-			s.RecvPixels += r.Area()
+			merge.RecvPixels += r.Area()
 			e, after, err := parseRegion(r, rest)
 			if err != nil {
 				return nil, fmt.Errorf("dfb: tile %d from %d: %w", t, src, err)
 			}
 			rest = after
 			timer.Start()
-			s.Composited += compositeWireBehind(out, r, e)
+			merge.Composited += compositeWireBehind(out, r, e)
 			timer.Stop()
 		}
 		if len(rest) != 0 {
@@ -188,6 +195,7 @@ func (d DFB) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float
 		}
 	}
 	tr.End(cm, trace.SpanComposite, trace.StageMerge)
+	tr.End(cm, trace.StageMerge, trace.StageMerge)
 	c.SetStage("")
 	st.CompWall = timer.Total()
 

@@ -46,7 +46,11 @@ func (d DS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 	sc := core.GetScratch()
 	defer sc.Release()
 	full := img.Full()
-	s := st.StageAt(1)
+	// Stage 1 carries the route round (encode + sends), stage 2 the merge
+	// pass (receives + composites), mirroring the two cost terms of
+	// costmodel.DirectSendCost so report.MeasuredVsModeled gets a real
+	// per-stage breakdown instead of one degenerate stage.
+	route, merge := st.StageAt(1), st.StageAt(2)
 
 	c.SetStage(trace.StageRoute)
 	bm := tr.Begin()
@@ -69,21 +73,24 @@ func (d DS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 		if !sr.Empty() {
 			rle.EncodeRect(img, sr, sc.Enc())
 			payload = sc.Enc().Pack(payload)
-			s.Encoded += sr.Area()
-			s.Codes += len(sc.Enc().Codes)
-			s.SentPixels += len(sc.Enc().NonBlank)
+			route.Encoded += sr.Area()
+			route.Codes += len(sc.Enc().Codes)
+			route.SentPixels += len(sc.Enc().NonBlank)
 		} else {
-			s.SendRectEmpty = true
+			route.SendRectEmpty = true
 		}
 		timer.Stop()
 		if err := c.Send(dst, tagDS, payload); err != nil {
 			return nil, fmt.Errorf("ds: send to %d: %w", dst, err)
 		}
 		sc.Retain(payload)
-		s.MsgsSent++
-		s.BytesSent += len(payload)
+		route.MsgsSent++
+		route.BytesSent += len(payload)
 	}
 	tr.End(em, trace.SpanEncode, trace.StageRoute)
+	// Umbrella span (Name == Stage), the per-stage measured total the
+	// reports sum — the binary-swap family's stageK spans' counterpart.
+	tr.End(em, trace.StageRoute, trace.StageRoute)
 
 	// Merge: composite my strip's contributions front-to-back. The
 	// layout's global depth order is a valid per-pixel order, so walking
@@ -96,7 +103,7 @@ func (d DS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 		if src == me {
 			if r := localBR.Intersect(myStrip); !r.Empty() {
 				timer.Start()
-				s.Composited += out.CompositeImage(img, r, false)
+				merge.Composited += out.CompositeImage(img, r, false)
 				timer.Stop()
 			}
 			continue
@@ -109,20 +116,20 @@ func (d DS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 			return nil, fmt.Errorf("ds: short message from %d", src)
 		}
 		r := frame.GetRect(recv)
-		s.MsgsRecv++
-		s.BytesRecv += len(recv)
+		merge.MsgsRecv++
+		merge.BytesRecv += len(recv)
 		if r.Empty() {
 			if len(recv) != frame.RectBytes {
 				return nil, fmt.Errorf("ds: %d trailing bytes with an empty rectangle from %d",
 					len(recv)-frame.RectBytes, src)
 			}
-			s.RecvRectEmpty = true
+			merge.RecvRectEmpty = true
 			continue
 		}
 		if !myStrip.ContainsRect(r) {
 			return nil, fmt.Errorf("ds: rect %v from %d outside strip %v", r, src, myStrip)
 		}
-		s.RecvPixels += r.Area()
+		merge.RecvPixels += r.Area()
 		e, rest, err := parseRegion(r, recv[frame.RectBytes:])
 		if err != nil {
 			return nil, fmt.Errorf("ds: from %d: %w", src, err)
@@ -131,10 +138,11 @@ func (d DS) Composite(c mp.Comm, dec *partition.Decomposition, viewDir [3]float6
 			return nil, fmt.Errorf("ds: %d trailing bytes from %d", len(rest), src)
 		}
 		timer.Start()
-		s.Composited += compositeWireBehind(out, r, e)
+		merge.Composited += compositeWireBehind(out, r, e)
 		timer.Stop()
 	}
 	tr.End(cm, trace.SpanComposite, trace.StageMerge)
+	tr.End(cm, trace.StageMerge, trace.StageMerge)
 	c.SetStage("")
 	st.CompWall = timer.Total()
 	return &core.Result{Image: out, Own: core.RectOwn{R: myStrip}, Stats: st}, nil

@@ -12,6 +12,7 @@ import (
 	"sortlast/internal/partition"
 	"sortlast/internal/render"
 	"sortlast/internal/rle"
+	"sortlast/internal/stats"
 	"sortlast/internal/transfer"
 	"sortlast/internal/volume"
 )
@@ -279,5 +280,61 @@ func TestParseRegionRejectsMismatch(t *testing.T) {
 	}
 	if _, _, err := parseRegion(r, body[:len(body)-2]); err == nil {
 		t.Fatal("truncated body accepted")
+	}
+}
+
+// The route round's traffic (encode + sends) and the merge pass's
+// (receives + composites) must land in separate stage entries mirroring
+// the two terms of the cost models, so measured-vs-modeled reports can
+// attribute time per stage. A stage that mixes directions — sends in
+// the merge entry, composites in the route entry — breaks the split.
+func TestTileRoutedStageSplit(t *testing.T) {
+	const p = 3
+	plan, err := partition.PlanFold(testRoot(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	imgs := make([]*frame.Image, p)
+	for r := range imgs {
+		imgs[r] = randImage(rng, 48, 48, 1)
+	}
+	viewDir := [3]float64{0.3, -0.5, 0.81}
+	for _, comp := range []core.Compositor{DS{Lay: plan}, DFB{Lay: plan, Tile: 16}} {
+		perRank := make([]*stats.Rank, p)
+		err := mp.Run(p, testOpts(), func(c mp.Comm) error {
+			res, err := comp.Composite(c, nil, viewDir, imgs[c.Rank()])
+			if err != nil {
+				return err
+			}
+			perRank[c.Rank()] = res.Stats
+			_, err = core.GatherImage(c, 0, res)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", comp.Name(), err)
+		}
+		for r, st := range perRank {
+			if len(st.Stages) != 2 {
+				t.Fatalf("%s rank %d: %d stages, want route + merge", comp.Name(), r, len(st.Stages))
+			}
+			route, merge := st.Stages[0], st.Stages[1]
+			if route.MsgsSent != p-1 || route.BytesSent == 0 {
+				t.Errorf("%s rank %d route: sent %d msgs / %d bytes, want %d msgs",
+					comp.Name(), r, route.MsgsSent, route.BytesSent, p-1)
+			}
+			if route.MsgsRecv != 0 || route.Composited != 0 || route.RecvPixels != 0 {
+				t.Errorf("%s rank %d: merge-side counters leaked into the route stage: %+v",
+					comp.Name(), r, route)
+			}
+			if merge.MsgsRecv != p-1 || merge.Composited == 0 {
+				t.Errorf("%s rank %d merge: recv %d msgs / composited %d, want %d msgs",
+					comp.Name(), r, merge.MsgsRecv, merge.Composited, p-1)
+			}
+			if merge.MsgsSent != 0 || merge.Encoded != 0 || merge.SentPixels != 0 {
+				t.Errorf("%s rank %d: route-side counters leaked into the merge stage: %+v",
+					comp.Name(), r, merge)
+			}
+		}
 	}
 }
